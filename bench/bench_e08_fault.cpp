@@ -1,0 +1,102 @@
+// E8 — Fault-tolerant wiring (paper section 2.5).
+//
+// "To prevent a single fault in a network wire or buffer from killing the
+// chip, a spare bit can be provided on each network link... Bit steering
+// logic then shifts all bits starting at this location up one position to
+// route around the faulty bit." Plus: end-to-end checking with retry for
+// transient tolerance, and multiple spares for multiple faults.
+//
+// Swept: faults-per-link x spares x steering on/off, measuring the fraction
+// of payloads delivered intact, then the end-to-end retry layer on top.
+#include "bench/common.h"
+#include "core/fault.h"
+#include "core/network.h"
+#include "services/reliable.h"
+#include "sim/rng.h"
+
+using namespace ocn;
+
+namespace {
+
+/// Fraction of random payloads that survive a link with the given fault
+/// configuration.
+double intact_fraction(int faults, int spares, bool steer, std::uint64_t seed) {
+  core::SteeredLink link(router::kDataBits, spares);
+  Rng rng(seed);
+  for (int f = 0; f < faults; ++f) {
+    link.inject_stuck_at(
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(router::kDataBits + spares))),
+        rng.bernoulli(0.5));
+  }
+  if (steer) link.configure_steering();
+  int intact = 0;
+  const int trials = 500;
+  for (int i = 0; i < trials; ++i) {
+    std::vector<bool> bits(router::kDataBits);
+    for (auto&& b : bits) b = rng.bernoulli(0.5);
+    if (link.transmit(bits) == bits) ++intact;
+  }
+  return static_cast<double>(intact) / trials;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E8", "Spare-bit steering and end-to-end retry",
+                "one spare bit tolerates any single wire fault; multiple "
+                "spares extend this; transients handled by e2e check+retry");
+
+  bench::section("payload-intact fraction: faults x spares x steering (256b link)");
+  TablePrinter t({"faults", "spares", "steering", "intact fraction"});
+  struct Case { int faults, spares; bool steer; };
+  double single_fault_steered = 0.0;
+  double single_fault_unsteered = 1.0;
+  for (const Case c : {Case{0, 1, false}, Case{1, 1, false}, Case{1, 1, true},
+                       Case{2, 1, true}, Case{2, 2, true}, Case{3, 2, true},
+                       Case{3, 3, true}}) {
+    Accumulator frac;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      frac.add(intact_fraction(c.faults, c.spares, c.steer, seed));
+    }
+    if (c.faults == 1 && c.spares == 1) {
+      (c.steer ? single_fault_steered : single_fault_unsteered) = frac.mean();
+    }
+    t.add_row({std::to_string(c.faults), std::to_string(c.spares),
+               c.steer ? "configured" : "unconfigured", bench::fmt(frac.mean(), 3)});
+  }
+  t.print();
+
+  bench::section("end-to-end retry over a transiently faulty network path");
+  {
+    core::Config cfg = core::Config::paper_baseline();
+    cfg.fault_layer = true;
+    core::Network net(cfg);
+    auto* fault = net.link_fault(0, topo::Port::kRowPos);
+    fault->link().inject_stuck_at(200, true);  // unconfigured hard fault
+
+    services::ReliableChannel ch(net, 0, 2, /*retry_timeout=*/64);
+    for (std::uint64_t i = 0; i < 8; ++i) ch.send(i);
+    net.run(400);
+    const auto rejects_before_fix = ch.crc_rejects();
+    fault->link().configure_steering();  // field repair
+    net.run(2000);
+
+    TablePrinter e({"phase", "crc rejects", "delivered", "retransmissions"});
+    e.add_row({"fault active", std::to_string(rejects_before_fix), "0", "-"});
+    e.add_row({"after fuse repair", std::to_string(ch.crc_rejects()),
+               std::to_string(ch.received().size()), std::to_string(ch.retransmissions())});
+    e.print();
+
+    bench::section("paper-vs-measured");
+    bench::verdict("single fault, steering configured", "chip survives (100% intact)",
+                   bench::fmt(100 * single_fault_steered, 1) + "%",
+                   single_fault_steered == 1.0);
+    bench::verdict("single fault, no steering", "corrupts payloads",
+                   bench::fmt(100 * single_fault_unsteered, 1) + "% intact",
+                   single_fault_unsteered < 1.0);
+    bench::verdict("e2e retry recovers all words after repair", "yes",
+                   std::to_string(ch.received().size()) + "/8",
+                   ch.received().size() == 8 && ch.all_acknowledged());
+  }
+  return 0;
+}

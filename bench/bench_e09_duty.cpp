@@ -1,0 +1,101 @@
+// E9 — Wire duty factor (paper section 4.4).
+//
+// "The average wire on a typical chip is used (toggles) less than 10% of
+// the time... A network solves this problem by sharing the wires across
+// many signals... The use of aggressive circuit design allows us to operate
+// on-chip networks with very high duty factors — over 100% if we transmit
+// several bits per cycle."
+//
+// We synthesize a set of bursty point-to-point flows, implement them twice —
+// dedicated bundles sized for peak rate vs the shared network — and compare
+// wire duty factors, including the multi-bit-per-wire variant.
+#include "bench/common.h"
+#include "core/network.h"
+#include "phys/power_model.h"
+#include "phys/serialization.h"
+#include "traffic/duty.h"
+#include "traffic/generator.h"
+
+using namespace ocn;
+
+int main() {
+  bench::banner("E9", "Wire duty factor: dedicated wiring vs shared network",
+                "dedicated wires toggle <10%; the network shares wires for "
+                "high duty, >100% with multi-bit signaling");
+
+  core::Config cfg = core::Config::paper_baseline();
+  core::Network net(cfg);
+  const auto& topo = net.topology();
+
+  // The flow set: every node talks to a few partners in bursts. Peak rate
+  // is the full 256b interface; average is far lower (bursty clients).
+  std::vector<traffic::DedicatedFlow> flows;
+  Rng rng(77);
+  for (NodeId s = 0; s < topo.num_nodes(); ++s) {
+    for (int f = 0; f < 8; ++f) {  // many point-to-point connections per tile
+      NodeId d = static_cast<NodeId>(rng.next_below(15));
+      if (d >= s) ++d;
+      // avg 4-16 bits/cycle vs 256-bit peak: per-wire duty 1.5-6%.
+      flows.push_back({s, d, 4.0 + static_cast<double>(rng.next_below(13)), 256.0});
+    }
+  }
+  const auto dedicated = traffic::dedicated_wiring(topo, flows);
+
+  // Shared network carrying the same average demand: each flow's average
+  // bits/cycle over the 256b interface = its packet rate.
+  double packets_per_node_cycle = 0.0;
+  for (const auto& f : flows) packets_per_node_cycle += f.avg_bits_per_cycle / 256.0;
+  packets_per_node_cycle /= topo.num_nodes();
+
+  traffic::HarnessOptions opt;
+  opt.injection_rate = packets_per_node_cycle;
+  opt.warmup = 500;
+  opt.measure = 5000;
+  opt.drain_max = 1;
+  opt.seed = 78;
+  traffic::LoadHarness harness(net, opt);
+  harness.run();
+  const auto duty = traffic::network_duty(net, 5500);
+
+  bench::section("duty factors");
+  const phys::Technology tech = cfg.tech;
+  TablePrinter t({"implementation", "wires (x length)", "duty factor"});
+  t.add_row({"dedicated bundles (peak-sized)",
+             std::to_string(dedicated.total_wires) + " wires, " +
+                 bench::fmt(dedicated.total_wire_mm, 0) + " wire-mm",
+             bench::fmt(100 * dedicated.avg_duty_factor, 1) + "%"});
+  t.add_row({"shared network channels",
+             "64 channels, " + bench::fmt(duty.total_wire_mm, 0) + " mm routes",
+             bench::fmt(100 * duty.avg_channel_duty, 1) + "%"});
+  t.add_row({"shared network, 4Gb/s wires @200MHz (20b/clk)",
+             "serialized channels",
+             bench::fmt(100 * duty.effective_duty(tech.wire_rate_gbps / 0.2), 1) + "%"});
+  t.print();
+
+  {
+    const auto e = net.energy(phys::PowerModel(tech));
+    bench::section("switching activity (actual toggles vs worst case)");
+    TablePrinter a({"wire energy accounting", "pJ"});
+    a.add_row({"worst case (every active bit)", bench::fmt(e.wire_energy_pj, 0)});
+    a.add_row({"actual toggles (Hamming)", bench::fmt(e.activity_wire_energy_pj, 0)});
+    a.print();
+  }
+
+  bench::section("hottest channel");
+  TablePrinter h({"metric", "value"});
+  h.add_row({"max channel duty", bench::fmt(100 * duty.max_channel_duty, 1) + "%"});
+  h.add_row({"avg channel duty", bench::fmt(100 * duty.avg_channel_duty, 1) + "%"});
+  h.print();
+
+  bench::section("paper-vs-measured");
+  bench::verdict("dedicated wire duty", "<10%",
+                 bench::fmt(100 * dedicated.avg_duty_factor, 1) + "%",
+                 dedicated.avg_duty_factor < 0.10);
+  bench::verdict("network raises duty factor", "much higher than dedicated",
+                 bench::fmt(duty.avg_channel_duty / dedicated.avg_duty_factor, 1) + "x",
+                 duty.avg_channel_duty > 2 * dedicated.avg_duty_factor);
+  bench::verdict("duty with 20 bits/clock serialization", ">100% possible",
+                 bench::fmt(100 * duty.effective_duty(20.0), 0) + "%",
+                 duty.effective_duty(20.0) > 1.0);
+  return 0;
+}

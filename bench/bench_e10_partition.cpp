@@ -1,0 +1,101 @@
+// E10 — Interface partitioning (paper section 4.2).
+//
+// "A simple solution is to partition the width of the interface into
+// several separate physical networks... we could split our 256-bit flit
+// into eight, 32-bit flits and duplicate the control signals eight times.
+// Wide flits could still be transferred by using several of the 32-bit
+// interfaces in parallel, but smaller flits would now only use a fraction
+// of the total interface bandwidth."
+#include "bench/common.h"
+#include "core/partition.h"
+#include "phys/serialization.h"
+#include "router/flit.h"
+#include "sim/rng.h"
+
+using namespace ocn;
+using namespace ocn::phys;
+
+namespace {
+
+struct SimPoint {
+  double efficiency;
+  double latency;
+};
+
+/// Run a mixed payload-size workload through real partitioned sub-networks.
+SimPoint simulate_partitions(int partitions, int payload_bits) {
+  core::PartitionedNetwork pn(core::Config::paper_baseline(), partitions);
+  Rng rng(91);
+  for (int i = 0; i < 400; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.next_below(16));
+    NodeId d = static_cast<NodeId>(rng.next_below(15));
+    if (d >= s) ++d;
+    pn.send(s, d, payload_bits);
+    pn.step();
+  }
+  pn.drain(50000);
+  return {pn.interface_efficiency(), pn.latency().mean()};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E10", "Partitioning the 256-bit interface into sub-networks",
+                "8x32b serves small payloads efficiently at the cost of "
+                "duplicated control signals");
+
+  const int kControl = router::kControlBits;  // type+size+vc+route per partition
+
+  bench::section("wire overhead of partitioning");
+  TablePrinter w({"partitions", "sub-flit bits", "control bits total", "wire overhead"});
+  for (int parts : {1, 2, 4, 8}) {
+    const auto p = partition_interface(256, kControl, parts);
+    w.add_row({std::to_string(parts), std::to_string(p.subflit_data_bits),
+               std::to_string(p.control_bits_total), bench::fmt(p.wire_overhead, 3)});
+  }
+  w.print();
+
+  bench::section("bandwidth efficiency by payload size (useful bits / interface bits)");
+  TablePrinter t({"payload bits", "1x256", "2x128", "4x64", "8x32"});
+  for (int payload : {8, 16, 32, 64, 96, 128, 200, 256}) {
+    std::vector<std::string> row{std::to_string(payload)};
+    for (int parts : {1, 2, 4, 8}) {
+      const auto p = partition_interface(256, kControl, parts);
+      row.push_back(bench::fmt(p.efficiency_for(payload), 3));
+    }
+    t.add_row(row);
+  }
+  t.print();
+
+  bench::section("simulated sub-networks (cycle-accurate, 32b payload workload)");
+  TablePrinter sim({"config", "interface efficiency", "mean latency cyc"});
+  const SimPoint one32 = simulate_partitions(1, 32);
+  const SimPoint eight32 = simulate_partitions(8, 32);
+  const SimPoint eight256 = simulate_partitions(8, 256);
+  sim.add_row({"1x256b, 32b payloads", bench::fmt(one32.efficiency, 3),
+               bench::fmt(one32.latency, 1)});
+  sim.add_row({"8x32b, 32b payloads", bench::fmt(eight32.efficiency, 3),
+               bench::fmt(eight32.latency, 1)});
+  sim.add_row({"8x32b, 256b payloads (ganged)", bench::fmt(eight256.efficiency, 3),
+               bench::fmt(eight256.latency, 1)});
+  sim.print();
+
+  bench::section("paper-vs-measured");
+  const auto whole = partition_interface(256, kControl, 1);
+  const auto eight = partition_interface(256, kControl, 8);
+  bench::verdict("32b payload on 8x32b partitions", "full efficiency",
+                 bench::fmt(eight.efficiency_for(32), 2), eight.efficiency_for(32) == 1.0);
+  bench::verdict("32b payload on unpartitioned 256b", "1/8 efficiency",
+                 bench::fmt(whole.efficiency_for(32), 3),
+                 std::abs(whole.efficiency_for(32) - 0.125) < 1e-9);
+  bench::verdict("wide flits still supported by ganging", "yes",
+                 bench::fmt(eight.efficiency_for(256), 2), eight.efficiency_for(256) == 1.0);
+  bench::verdict("control-signal duplication cost", "some additional overhead",
+                 bench::fmt(100 * (eight.wire_overhead - whole.wire_overhead), 1) +
+                     "% extra wires",
+                 eight.wire_overhead > whole.wire_overhead);
+  bench::verdict("simulated efficiency, 32b on 8x32 vs 1x256", "8x better",
+                 bench::fmt(eight32.efficiency, 2) + " vs " + bench::fmt(one32.efficiency, 2),
+                 eight32.efficiency > 7.5 * one32.efficiency);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// E13 — Baseline network characterization: latency vs offered load.
+//
+// The canonical interconnection-network figure for the paper's example
+// network (section 2): 4x4 folded torus, 8 VCs, 4-flit buffers, 256-bit
+// flits, dimension-order source routing, credit-based VC flow control.
+// Low-load latency sits near the zero-load bound (hops x 2 cycles + port
+// overheads) and rises sharply toward saturation.
+#include "bench/common.h"
+#include "core/network.h"
+#include "traffic/generator.h"
+
+using namespace ocn;
+
+namespace {
+
+traffic::HarnessResult run_point(traffic::Pattern pattern, double rate, int flits) {
+  core::Network net(core::Config::paper_baseline());
+  traffic::HarnessOptions opt;
+  opt.pattern = pattern;
+  opt.injection_rate = rate / flits;
+  opt.packet_flits = flits;
+  opt.warmup = 1000;
+  opt.measure = 4000;
+  opt.drain_max = 1;
+  opt.seed = 3;
+  traffic::LoadHarness harness(net, opt);
+  return harness.run();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E13", "Latency vs offered load, paper baseline network",
+                "flat latency near the zero-load bound, sharp rise at "
+                "saturation; saturation set by pattern");
+
+  for (auto pattern : {traffic::Pattern::kUniform, traffic::Pattern::kTranspose,
+                       traffic::Pattern::kHotspot}) {
+    bench::section((std::string("pattern: ") + traffic::pattern_name(pattern)).c_str());
+    TablePrinter t({"offered flits/node/cyc", "accepted", "avg lat cyc", "p99 lat",
+                    "stddev", "net lat"});
+    for (double rate : {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+      const auto r = run_point(pattern, rate, 1);
+      t.add_row({bench::fmt(rate, 2), bench::fmt(r.accepted_flits, 3),
+                 bench::fmt(r.avg_latency, 1), bench::fmt(r.p99_latency, 0),
+                 bench::fmt(r.stddev_latency, 1), bench::fmt(r.avg_network_latency, 1)});
+      if (r.accepted_flits < 0.8 * rate) break;  // deep saturation: stop the sweep
+    }
+    t.print();
+  }
+
+  bench::section("multi-flit packets (4-flit, uniform)");
+  TablePrinter m({"offered flits/node/cyc", "accepted", "avg lat cyc"});
+  for (double rate : {0.1, 0.2, 0.4, 0.6}) {
+    const auto r = run_point(traffic::Pattern::kUniform, rate, 4);
+    m.add_row({bench::fmt(rate, 2), bench::fmt(r.accepted_flits, 3),
+               bench::fmt(r.avg_latency, 1)});
+  }
+  m.print();
+
+  bench::section("paper-vs-measured");
+  const auto low = run_point(traffic::Pattern::kUniform, 0.05, 1);
+  // Zero-load bound: ~2 cycles/hop (router+link) + inject/eject overhead.
+  const double bound = 2.0 * 2.0 + 4.0;  // avg 2 hops
+  bench::verdict("zero-load latency near bound", bench::fmt(bound, 0) + " cyc",
+                 bench::fmt(low.avg_latency, 1) + " cyc",
+                 low.avg_latency < bound + 4);
+  const auto high = run_point(traffic::Pattern::kUniform, 0.9, 1);
+  bench::verdict("uniform saturation throughput", "high (torus, 8 VCs)",
+                 bench::fmt(high.accepted_flits, 2) + " flits/node/cyc",
+                 high.accepted_flits > 0.5);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// M1 — Simulator micro-benchmarks (google-benchmark).
+//
+// Not a paper experiment: tracks the cost of the core operations so
+// performance regressions in the simulator itself are visible.
+#include <benchmark/benchmark.h>
+
+#include "core/fault.h"
+#include "core/network.h"
+#include "routing/route_computer.h"
+#include "sim/rng.h"
+#include "topo/folded_torus.h"
+#include "traffic/patterns.h"
+
+using namespace ocn;
+
+namespace {
+
+void BM_NetworkStepIdle(benchmark::State& state) {
+  core::Config c = core::Config::paper_baseline();
+  c.radix = static_cast<int>(state.range(0));
+  core::Network net(c);
+  for (auto _ : state) net.step();
+  state.SetItemsProcessed(state.iterations() * net.num_nodes());
+}
+BENCHMARK(BM_NetworkStepIdle)->Arg(4)->Arg(8);
+
+void BM_NetworkStepLoaded(benchmark::State& state) {
+  core::Config c = core::Config::paper_baseline();
+  core::Network net(c);
+  Rng rng(1);
+  traffic::TrafficPattern pattern(traffic::Pattern::kUniform, net.topology());
+  for (auto _ : state) {
+    for (NodeId n = 0; n < net.num_nodes(); ++n) {
+      if (rng.bernoulli(0.2)) {
+        net.nic(n).inject(core::make_word_packet(pattern.destination(n, rng), 0, 1),
+                          net.now());
+      }
+    }
+    net.step();
+  }
+  state.SetItemsProcessed(state.iterations() * net.num_nodes());
+}
+BENCHMARK(BM_NetworkStepLoaded);
+
+void BM_RouteCompute(benchmark::State& state) {
+  const topo::FoldedTorus topo(8, 3.0);
+  const routing::RouteComputer rc(topo);
+  Rng rng(2);
+  for (auto _ : state) {
+    const auto s = static_cast<NodeId>(rng.next_below(64));
+    auto d = static_cast<NodeId>(rng.next_below(63));
+    if (d >= s) ++d;
+    benchmark::DoNotOptimize(rc.compute(s, d));
+  }
+}
+BENCHMARK(BM_RouteCompute);
+
+void BM_SteeredLinkTransmit(benchmark::State& state) {
+  core::SteeredLink link(256, 1);
+  link.inject_stuck_at(100, true);
+  link.configure_steering();
+  std::vector<bool> bits(256);
+  Rng rng(3);
+  for (auto&& b : bits) b = rng.bernoulli(0.5);
+  for (auto _ : state) benchmark::DoNotOptimize(link.transmit(bits));
+}
+BENCHMARK(BM_SteeredLinkTransmit);
+
+void BM_RngU64(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+}
+BENCHMARK(BM_RngU64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

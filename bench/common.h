@@ -1,0 +1,35 @@
+// Shared helpers for the experiment benches. Every bench prints:
+//   * a banner naming the experiment and the paper's claim,
+//   * one or more aligned tables (sim/stats.h TablePrinter),
+//   * a PAPER-VS-MEASURED summary line per claim, consumed by
+//     EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/stats.h"
+
+namespace ocn::bench {
+
+inline void banner(const char* id, const char* title, const char* claim) {
+  std::printf("\n=============================================================\n");
+  std::printf("%s  %s\n", id, title);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("=============================================================\n");
+}
+
+inline void section(const char* name) { std::printf("\n-- %s --\n", name); }
+
+/// One comparison line: experiment id, metric, paper value, measured value.
+inline void verdict(const char* metric, const std::string& paper,
+                    const std::string& measured, bool ok) {
+  std::printf("%-8s %-44s paper=%-14s measured=%-14s\n", ok ? "[OK]" : "[DEVIATES]",
+              metric, paper.c_str(), measured.c_str());
+}
+
+inline std::string fmt(double v, int precision = 3) {
+  return TablePrinter::fmt(v, precision);
+}
+
+}  // namespace ocn::bench

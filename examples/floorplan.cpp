@@ -1,0 +1,69 @@
+// Floorplan report — renders the paper's Figure 1 as text: the 12mm die
+// divided into 16 tiles, the router strips along each tile edge, folded
+// torus wiring, and the physical budgets behind the 6.6% area claim.
+#include <cstdio>
+
+#include "core/config.h"
+#include "phys/area_model.h"
+#include "topo/folded_torus.h"
+
+using namespace ocn;
+
+int main() {
+  const core::Config config = core::Config::paper_baseline();
+  const phys::Technology& tech = config.tech;
+  const phys::AreaBreakdown area =
+      phys::AreaModel(tech, phys::RouterAreaParams{}).evaluate();
+  const topo::FoldedTorus topo(config.radix, tech.tile_mm);
+
+  std::printf("die: %.0fmm x %.0fmm in 0.1um CMOS, %dx%d tiles of %.0fmm\n",
+              tech.chip_mm, tech.chip_mm, config.radix, config.radix, tech.tile_mm);
+  std::printf("router strip per tile edge: %.1fum x %.0fmm (%.2f%% of tile total)\n\n",
+              area.strip_width_um, tech.tile_mm, 100 * area.fraction_of_tile);
+
+  // The tile grid with node ids; row ring order annotated below.
+  const int k = config.radix;
+  for (int y = 0; y < k; ++y) {
+    for (int x = 0; x < k; ++x) std::printf("+--------");
+    std::printf("+\n");
+    for (int x = 0; x < k; ++x) std::printf("| tile%2d ", topo.node_at(x, y));
+    std::printf("|\n");
+    for (int x = 0; x < k; ++x) {
+      const NodeId n = topo.node_at(x, y);
+      std::printf("| r%d s%d  ", topo.ring_index(n, 0), topo.ring_index(n, 1));
+    }
+    std::printf("|   r = row ring index, s = column ring index\n");
+  }
+  for (int x = 0; x < k; ++x) std::printf("+--------");
+  std::printf("+\n\n");
+
+  std::printf("row ring order (physical columns): ");
+  for (int i : topo.ring_order()) std::printf("%d ", i);
+  std::printf("  -- the paper's 0,2,3,1 fold\n\n");
+
+  std::printf("row-0 ring wiring (link spans in tile pitches):\n  ");
+  NodeId n = topo.node_at(0, 0);
+  for (int i = 0; i < k; ++i) {
+    const auto link = topo.neighbor(n, topo::Port::kRowPos);
+    std::printf("%d --%.0f--> ", topo.x_of(n), link->length_mm / tech.tile_mm);
+    n = link->dst;
+  }
+  std::printf("(back to 0)\n\n");
+
+  std::printf("per-edge budget:\n");
+  std::printf("  %-38s %8.0f um^2\n", "VC buffers + output stages",
+              area.buffer_area_um2_per_edge);
+  std::printf("  %-38s %8.0f um^2\n", "control logic", area.logic_area_um2_per_edge);
+  std::printf("  %-38s %8.0f um^2\n", "drivers / receivers", area.driver_area_um2_per_edge);
+  std::printf("  %-38s %8.0f um^2\n", "steering / reservations / clocking",
+              area.fixed_area_um2_per_edge);
+  std::printf("  %-38s %8.0f um^2  (= %.1fum strip)\n", "total",
+              area.total_area_um2_per_edge, area.strip_width_um);
+  std::printf("\nwiring: %d of %d top-metal tracks per edge "
+              "(differential pairs + shields, in + out + pass-over)\n",
+              area.tracks_used_per_edge, area.tracks_available_per_edge);
+  std::printf("router total: %.2f mm^2 = %.2f%% of the tile "
+              "(paper: 0.59 mm^2 = 6.6%%)\n",
+              area.router_area_mm2, 100 * area.fraction_of_tile);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Logical wires demo (paper section 2.2): replacing dedicated top-level
+// control wires with network-transported wire bundles.
+//
+// A "peripheral controller" at tile 3 exposes 8 status lines consumed by a
+// "CPU" at tile 12, and the CPU drives 8 control lines back — two logical
+// wire bundles replacing 16 cross-die wires, sharing the network with bulk
+// DMA traffic.
+#include <cstdio>
+
+#include "core/network.h"
+#include "services/logical_wire.h"
+#include "services/stream.h"
+
+using namespace ocn;
+
+int main() {
+  core::Network net(core::Config::paper_baseline());
+  constexpr NodeId kPeripheral = 3, kCpu = 12;
+
+  services::LogicalWire status(net, kPeripheral, kCpu, /*bundle_id=*/1);
+  services::LogicalWire control(net, kCpu, kPeripheral, /*bundle_id=*/2);
+
+  // Bulk DMA in the background on the same fabric (low-priority class 0).
+  services::Stream dma(net, /*src=*/kPeripheral, /*dst=*/kCpu, /*window=*/8,
+                       /*data_class=*/0, /*credit_class=*/1);
+  dma.push(std::vector<std::uint8_t>(4096, 0xdd));
+
+  // Handshake: CPU sets a control bit; peripheral responds on its status
+  // lines; CPU acknowledges. All transitions ride size-16 flits.
+  struct Handshake final : Clockable {
+    services::LogicalWire* status;
+    services::LogicalWire* control;
+    int phase = 0;
+    Cycle phase_time[4] = {0, 0, 0, 0};
+    void step(Cycle now) override {
+      switch (phase) {
+        case 0:
+          control->drive(0x01);  // CPU: start command
+          phase_time[0] = now;
+          phase = 1;
+          break;
+        case 1:
+          if (control->output() == 0x01) {  // peripheral saw the command
+            status->drive(0x80);            // peripheral: busy
+            phase_time[1] = now;
+            phase = 2;
+          }
+          break;
+        case 2:
+          if (status->output() == 0x80 && now > phase_time[1] + 50) {
+            status->drive(0x40);  // peripheral: done
+            phase_time[2] = now;
+            phase = 3;
+          }
+          break;
+        case 3:
+          if (status->output() == 0x40) {
+            control->drive(0x00);  // CPU: acknowledge, clear command
+            phase_time[3] = now;
+            phase = 4;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  } hs;
+  hs.status = &status;
+  hs.control = &control;
+  net.kernel().add(&hs);
+
+  net.run(3000);
+  net.drain(20000);
+
+  std::printf("handshake completed through phase %d\n", hs.phase);
+  std::printf("  command seen after   %lld cycles\n",
+              static_cast<long long>(hs.phase_time[1] - hs.phase_time[0]));
+  std::printf("  done flagged after   %lld cycles\n",
+              static_cast<long long>(hs.phase_time[2] - hs.phase_time[1]));
+  std::printf("  acknowledged after   %lld cycles\n",
+              static_cast<long long>(hs.phase_time[3] - hs.phase_time[2]));
+  std::printf("wire updates: %lld status, %lld control; mean transport latency "
+              "%.1f cycles\n",
+              static_cast<long long>(status.updates_sent()),
+              static_cast<long long>(control.updates_sent()),
+              status.update_latency().mean());
+  std::printf("DMA moved %lld bytes concurrently, %lld sequence errors\n",
+              static_cast<long long>(dma.bytes_delivered()),
+              static_cast<long long>(dma.sequence_errors()));
+  return (hs.phase == 4 && dma.sequence_errors() == 0) ? 0 : 1;
+}

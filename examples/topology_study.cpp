@@ -1,0 +1,89 @@
+// Topology design study (paper section 3.1): the trade between hops, wire
+// length, power and bandwidth across mesh / torus / folded torus, driven
+// through the public API — a template for evaluating your own topology
+// against the paper's choices.
+#include <cstdio>
+
+#include "core/network.h"
+#include "phys/power_model.h"
+#include "sim/stats.h"
+#include "traffic/generator.h"
+
+using namespace ocn;
+
+namespace {
+
+struct StudyRow {
+  std::string name;
+  double avg_hops;
+  double avg_mm;
+  double pj_per_flit;
+  double sat_uniform;
+  double sat_bitcomp;
+};
+
+StudyRow study(core::TopologyKind kind) {
+  core::Config c = core::Config::paper_baseline();
+  c.topology = kind;
+  if (kind == core::TopologyKind::kMesh) c.router.enforce_vc_parity = false;
+
+  StudyRow row;
+  row.name = core::topology_kind_name(kind);
+  {
+    const auto topo = c.make_topology();
+    row.avg_hops = topo->avg_min_hops();
+    row.avg_mm = topo->avg_min_distance_mm();
+  }
+  {
+    core::Network net(c);
+    traffic::HarnessOptions opt;
+    opt.injection_rate = 0.1;
+    opt.warmup = 500;
+    opt.measure = 3000;
+    opt.seed = 9;
+    traffic::LoadHarness h(net, opt);
+    h.run();
+    row.pj_per_flit = net.energy(phys::PowerModel(c.tech)).pj_per_delivered_flit;
+  }
+  auto saturation = [&](traffic::Pattern p) {
+    double best = 0;
+    for (double rate : {0.4, 0.6, 0.8, 1.0}) {
+      core::Network net(c);
+      traffic::HarnessOptions opt;
+      opt.pattern = p;
+      opt.injection_rate = rate;
+      opt.warmup = 500;
+      opt.measure = 2000;
+      opt.drain_max = 1;
+      opt.seed = 9;
+      traffic::LoadHarness h(net, opt);
+      best = std::max(best, h.run().accepted_flits);
+    }
+    return best;
+  };
+  row.sat_uniform = saturation(traffic::Pattern::kUniform);
+  row.sat_bitcomp = saturation(traffic::Pattern::kBitComplement);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("topology design study, 4x4 tiles (paper section 3.1)\n\n");
+  TablePrinter t({"topology", "avg hops", "avg mm", "pJ/flit @0.1", "sat uniform",
+                  "sat bit-comp"});
+  for (auto kind : {core::TopologyKind::kMesh, core::TopologyKind::kTorus,
+                    core::TopologyKind::kFoldedTorus}) {
+    const StudyRow r = study(kind);
+    t.add_row({r.name, TablePrinter::fmt(r.avg_hops, 2), TablePrinter::fmt(r.avg_mm, 2),
+               TablePrinter::fmt(r.pj_per_flit, 1), TablePrinter::fmt(r.sat_uniform, 3),
+               TablePrinter::fmt(r.sat_bitcomp, 3)});
+  }
+  t.print();
+  std::printf(
+      "\nreading: the torus halves hop count but doubles wire demand; folding\n"
+      "equalizes wire lengths (max 2 tile pitches) so the energy premium is\n"
+      "small, and the doubled bisection shows up as ~2x bit-complement\n"
+      "saturation throughput — the paper's rationale for choosing it.\n");
+  return 0;
+}

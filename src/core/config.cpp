@@ -1,0 +1,69 @@
+#include "core/config.h"
+
+#include <stdexcept>
+
+#include "topo/folded_torus.h"
+#include "topo/mesh.h"
+#include "topo/torus.h"
+
+namespace ocn::core {
+
+const char* topology_kind_name(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::kMesh: return "mesh";
+    case TopologyKind::kTorus: return "torus";
+    case TopologyKind::kFoldedTorus: return "folded_torus";
+  }
+  return "?";
+}
+
+std::unique_ptr<topo::Topology> Config::make_topology() const {
+  switch (topology) {
+    case TopologyKind::kMesh:
+      return std::make_unique<topo::Mesh>(radix, tech.tile_mm);
+    case TopologyKind::kTorus:
+      return std::make_unique<topo::Torus>(radix, tech.tile_mm);
+    case TopologyKind::kFoldedTorus:
+      return std::make_unique<topo::FoldedTorus>(radix, tech.tile_mm);
+  }
+  throw std::invalid_argument("unknown topology kind");
+}
+
+void Config::validate() const {
+  auto fail = [](const std::string& why) { throw std::invalid_argument("Config: " + why); };
+  if (radix < 2) fail("radix must be >= 2");
+  if (router.vcs < 1 || router.vcs > 8) fail("vcs must be in [1,8] (8-bit VC mask)");
+  if (router.buffer_depth < 1) fail("buffer_depth must be >= 1");
+  if (link_latency < 1) fail("link_latency must be >= 1");
+  if (flit_data_bits < 1 || flit_data_bits > 256) fail("flit_data_bits must be in [1,256]");
+  if (interface_partitions < 1 || flit_data_bits % interface_partitions != 0) {
+    fail("interface_partitions must divide flit_data_bits");
+  }
+  if (router.scheduled_vc < 0 || router.scheduled_vc >= router.vcs) {
+    fail("scheduled_vc out of range");
+  }
+  const bool wraparound = topology != TopologyKind::kMesh;
+  if (wraparound && router.flow_control == router::FlowControl::kVirtualChannel &&
+      !router.enforce_vc_parity) {
+    fail("wraparound topologies require enforce_vc_parity (dateline deadlock avoidance)");
+  }
+  if (router.enforce_vc_parity && router.vcs % 2 != 0) {
+    fail("enforce_vc_parity requires an even VC count (VC class pairs)");
+  }
+  if (router.reservation_frame < 1) fail("reservation_frame must be >= 1");
+  if (link_spare_bits < 0) fail("link_spare_bits must be >= 0");
+  if (nic_queue_packets < 1) fail("nic_queue_packets must be >= 1");
+}
+
+Config Config::paper_baseline() {
+  Config c;
+  c.topology = TopologyKind::kFoldedTorus;
+  c.radix = 4;
+  c.router.vcs = 8;
+  c.router.buffer_depth = 4;
+  c.router.enforce_vc_parity = true;
+  c.flit_data_bits = 256;
+  return c;
+}
+
+}  // namespace ocn::core

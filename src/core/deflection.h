@@ -1,0 +1,76 @@
+// Misrouting (deflection) flow control — the second buffer-poor alternative
+// of paper section 3.2: "if packets are dropped or misrouted when they
+// encounter contention very little buffering is required. However, dropping
+// and misrouting protocols reduce performance and increase wire loading and
+// hence power dissipation."
+//
+// This is a classic bufferless hot-potato network: single-flit packets, no
+// router storage at all (only the link pipeline registers). Every arriving
+// flit must leave on some port in the same cycle; contention for a
+// productive port deflects the loser onto an unproductive one. Oldest-first
+// priority guarantees livelock freedom. The extra distance travelled shows
+// up directly in the wire-energy accounting (bench E7).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+#include "topo/topology.h"
+
+namespace ocn::core {
+
+class DeflectionNetwork {
+ public:
+  DeflectionNetwork(const topo::Topology& topology, std::uint64_t seed);
+
+  /// Queue a single-flit packet (delivered whole; deflection networks
+  /// cannot carry wormholes).
+  void inject(NodeId src, NodeId dst, Cycle now);
+
+  void step();
+  Cycle now() const { return now_; }
+  bool idle() const;
+  bool drain(Cycle max_cycles);
+
+  std::int64_t injected() const { return injected_; }
+  std::int64_t delivered() const { return delivered_; }
+  std::int64_t deflections() const { return deflections_; }
+  const Accumulator& latency() const { return latency_; }
+  const Accumulator& hops() const { return hops_; }
+  const Accumulator& link_mm() const { return link_mm_; }
+  /// Flit-mm actually driven (includes deflection detours).
+  double total_flit_mm() const { return total_flit_mm_; }
+
+ private:
+  struct DFlit {
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    Cycle created = 0;
+    int hops = 0;
+    double mm = 0.0;
+  };
+
+  /// Productive output ports toward dst from node (minimal directions).
+  std::vector<topo::Port> productive_ports(NodeId node, NodeId dst) const;
+
+  const topo::Topology& topo_;
+  Rng rng_;
+  Cycle now_ = 0;
+  /// Flits arriving at each node this cycle (the link pipeline).
+  std::vector<std::vector<DFlit>> arriving_;
+  std::vector<std::vector<DFlit>> next_arriving_;
+  std::vector<std::deque<DFlit>> inject_queues_;
+
+  std::int64_t injected_ = 0;
+  std::int64_t delivered_ = 0;
+  std::int64_t deflections_ = 0;
+  double total_flit_mm_ = 0.0;
+  Accumulator latency_;
+  Accumulator hops_;
+  Accumulator link_mm_;
+};
+
+}  // namespace ocn::core

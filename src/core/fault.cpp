@@ -1,0 +1,115 @@
+#include "core/fault.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ocn::core {
+
+SteeredLink::SteeredLink(int width, int spares)
+    : width_(width),
+      spares_(spares),
+      stuck_(static_cast<std::size_t>(width + spares), false),
+      stuck_value_(static_cast<std::size_t>(width + spares), false) {
+  assert(width >= 1 && spares >= 0);
+}
+
+void SteeredLink::inject_stuck_at(int wire, bool stuck_value) {
+  const auto i = static_cast<std::size_t>(wire);
+  assert(i < stuck_.size());
+  stuck_[i] = true;
+  stuck_value_[i] = stuck_value;
+}
+
+void SteeredLink::clear_faults() {
+  std::fill(stuck_.begin(), stuck_.end(), false);
+  reset_steering();
+}
+
+int SteeredLink::fault_count() const {
+  return static_cast<int>(std::count(stuck_.begin(), stuck_.end(), true));
+}
+
+bool SteeredLink::configure_steering() {
+  skip_.clear();
+  for (int w = 0; w < width_ + spares_; ++w) {
+    if (stuck_[static_cast<std::size_t>(w)]) skip_.push_back(w);
+  }
+  steering_configured_ = true;
+  return static_cast<int>(skip_.size()) <= spares_;
+}
+
+void SteeredLink::reset_steering() {
+  skip_.clear();
+  steering_configured_ = false;
+}
+
+int SteeredLink::physical_wire(int logical) const {
+  if (!steering_configured_) return logical;
+  // Shift by one for every skipped (faulty) wire at or below the current
+  // physical position — exactly the paper's "shifts all bits starting at
+  // this location up one position".
+  int phys = logical;
+  for (int faulty : skip_) {
+    if (faulty <= phys) ++phys;
+  }
+  return phys;
+}
+
+std::vector<bool> SteeredLink::transmit(const std::vector<bool>& bits) const {
+  assert(static_cast<int>(bits.size()) <= width_);
+  const int total = width_ + spares_;
+  std::vector<bool> wires(static_cast<std::size_t>(total), false);
+  // Transmitter steering.
+  for (int i = 0; i < static_cast<int>(bits.size()); ++i) {
+    const int phys = physical_wire(i);
+    if (phys < total) wires[static_cast<std::size_t>(phys)] = bits[static_cast<std::size_t>(i)];
+  }
+  // The physical medium applies stuck-at faults.
+  for (int w = 0; w < total; ++w) {
+    const auto i = static_cast<std::size_t>(w);
+    if (stuck_[i]) wires[i] = stuck_value_[i];
+  }
+  // Receiver de-steering.
+  std::vector<bool> out(bits.size(), false);
+  for (int i = 0; i < static_cast<int>(bits.size()); ++i) {
+    const int phys = physical_wire(i);
+    if (phys < total) out[static_cast<std::size_t>(i)] = wires[static_cast<std::size_t>(phys)];
+  }
+  return out;
+}
+
+bool SteeredLink::healthy() const {
+  // A link is healthy iff no logical bit maps to a faulty physical wire.
+  for (int i = 0; i < width_; ++i) {
+    const int phys = physical_wire(i);
+    if (phys >= width_ + spares_) return false;  // shifted off the end
+    if (stuck_[static_cast<std::size_t>(phys)]) return false;
+  }
+  return true;
+}
+
+void FaultyLinkTransform::apply(router::Flit& flit) {
+  const int bits = router::kDataBits;
+  const auto in = payload_to_bits(flit.data, bits);
+  auto out = link_.transmit(in);
+  if (out != in) ++corrupted_flits_;
+  flit.data = bits_to_payload(out);
+}
+
+std::vector<bool> payload_to_bits(const router::Payload& data, int bits) {
+  std::vector<bool> out(static_cast<std::size_t>(bits), false);
+  for (int i = 0; i < bits; ++i) {
+    out[static_cast<std::size_t>(i)] = (data[static_cast<std::size_t>(i / 64)] >> (i % 64)) & 1u;
+  }
+  return out;
+}
+
+router::Payload bits_to_payload(const std::vector<bool>& bits) {
+  router::Payload data{};
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) data[i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+  return data;
+}
+
+}  // namespace ocn::core

@@ -1,0 +1,84 @@
+// Fault-tolerant wiring (paper section 2.5).
+//
+// Every network link carries `spares` spare bits. After manufacturing test,
+// laser fuses are blown (modelled as configure_steering()) so that bit
+// steering logic shifts all bits starting at a faulty position up by one,
+// routing data around the fault; mirror logic at the receiver restores the
+// original positions. With s spare bits, any s stuck-at faults on one link
+// are tolerated. Unconfigured (or excess) faults corrupt payload bits and
+// are caught by the end-to-end check-and-retry service layered on top
+// (services/reliable.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "router/flit.h"
+#include "sim/types.h"
+
+namespace ocn::core {
+
+/// One physical link's fault state and steering configuration.
+class SteeredLink {
+ public:
+  /// `width` payload wires plus `spares` spare wires.
+  SteeredLink(int width, int spares);
+
+  int width() const { return width_; }
+  int spares() const { return spares_; }
+
+  /// Inject a stuck-at fault on a physical wire (0 .. width+spares-1).
+  void inject_stuck_at(int wire, bool stuck_value);
+  void clear_faults();
+  int fault_count() const;
+
+  /// "Blow the fuses": compute the steering map from the known faults.
+  /// Returns true if all faults are covered by the available spares.
+  bool configure_steering();
+  /// Forget the configuration (simulates an unconfigured part).
+  void reset_steering();
+  bool steering_configured() const { return steering_configured_; }
+
+  /// Drive logical bits through the physical wires: steer at the
+  /// transmitter, apply stuck-at faults, de-steer at the receiver.
+  std::vector<bool> transmit(const std::vector<bool>& bits) const;
+
+  /// True when transmit() is currently the identity for all inputs.
+  bool healthy() const;
+
+ private:
+  /// Physical wire carrying logical bit i under the current steering map.
+  int physical_wire(int logical) const;
+
+  int width_;
+  int spares_;
+  std::vector<bool> stuck_;        // fault present per wire
+  std::vector<bool> stuck_value_;  // value the wire is stuck at
+  std::vector<int> skip_;          // sorted faulty wires skipped by steering
+  bool steering_configured_ = false;
+};
+
+/// LinkTransform pushing each flit's 256-bit data field through a
+/// SteeredLink; installed on output controllers by the Network when the
+/// fault layer is enabled.
+class FaultyLinkTransform final : public router::LinkTransform {
+ public:
+  explicit FaultyLinkTransform(SteeredLink link) : link_(std::move(link)) {}
+
+  SteeredLink& link() { return link_; }
+  const SteeredLink& link() const { return link_; }
+
+  void apply(router::Flit& flit) override;
+
+  std::int64_t corrupted_flits() const { return corrupted_flits_; }
+
+ private:
+  SteeredLink link_;
+  std::int64_t corrupted_flits_ = 0;
+};
+
+/// Payload <-> bit-vector conversion helpers (exposed for tests).
+std::vector<bool> payload_to_bits(const router::Payload& data, int bits);
+router::Payload bits_to_payload(const std::vector<bool>& bits);
+
+}  // namespace ocn::core

@@ -1,0 +1,74 @@
+// The tile's network interface (paper section 2.1).
+//
+// "The network presents a simple reliable datagram interface to each tile":
+// an input port (into the network) and an output port (out of it), each a
+// 256-bit data field plus control subfields. PortSignals below mirrors the
+// wire-level fields; Packet is the client-level datagram the NIC converts
+// to and from flit streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "router/flit.h"
+#include "sim/types.h"
+
+namespace ocn::core {
+
+/// Wire-level view of one cycle on the tile input or output port. Field
+/// widths follow section 2.1: type 2b, size 4b (logarithmic), virtual
+/// channel mask 8b, route 16b, data 256b; ready (8b) travels the opposite
+/// way and is modelled by the NIC's per-VC credit state.
+struct PortSignals {
+  router::FlitType type = router::FlitType::kHeadTail;
+  std::uint8_t size = router::kMaxSizeCode;
+  std::uint8_t vc_mask = 0xFF;
+  std::uint16_t route = 0;
+  router::Payload data{};
+};
+
+/// Client-level datagram. One entry of flit_payloads becomes one flit; the
+/// last flit may carry fewer bits (size-field power gating, section 2.1).
+struct Packet {
+  NodeId dst = kInvalidNode;
+
+  /// Service class selects the VC pair {2c, 2c+1}; higher classes win
+  /// priority arbitration. The NIC converts it to the 8-bit VC mask.
+  int service_class = 0;
+
+  std::vector<router::Payload> flit_payloads = {router::Payload{}};
+  int last_flit_bits = router::kDataBits;
+
+  /// Marked by the scheduled-traffic machinery; rides the reserved VC.
+  bool scheduled = false;
+
+  // --- filled in by the NIC ------------------------------------------------
+  NodeId src = kInvalidNode;
+  PacketId id = 0;
+  Cycle created = 0;    ///< handed to the NIC
+  Cycle injected = 0;   ///< head flit entered the network
+  Cycle delivered = 0;  ///< tail flit reassembled at the destination
+  int hops = 0;         ///< links traversed
+  double link_mm = 0.0; ///< physical wire distance travelled
+
+  int num_flits() const { return static_cast<int>(flit_payloads.size()); }
+  /// Total useful payload bits.
+  int payload_bits() const {
+    return (num_flits() - 1) * router::kDataBits + last_flit_bits;
+  }
+  Cycle latency() const { return delivered - created; }
+  Cycle network_latency() const { return delivered - injected; }
+};
+
+/// Convenience constructors.
+Packet make_packet(NodeId dst, int service_class, int num_flits,
+                   int last_flit_bits = router::kDataBits);
+/// Single-flit packet carrying a 64-bit word (fits services and tests).
+Packet make_word_packet(NodeId dst, int service_class, std::uint64_t word,
+                        int data_bits = 64);
+
+/// VC mask for a service class: both members of the VC pair (the dateline
+/// scheme needs both parities available).
+std::uint8_t vc_mask_for_class(int service_class);
+
+}  // namespace ocn::core

@@ -1,0 +1,165 @@
+// The on-chip interconnection network: topology + routers + NICs + channels,
+// assembled from a Config. This is the library's main entry point.
+//
+//   core::Network net(core::Config::paper_baseline());
+//   net.nic(0).inject(core::make_word_packet(5, 0, 0xbeef), net.now());
+//   net.run(100);
+//   // net.nic(5).received() now holds the datagram.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/config.h"
+#include "core/fault.h"
+#include "core/nic.h"
+#include "core/registers.h"
+#include "core/trace.h"
+#include "phys/power_model.h"
+#include "router/router.h"
+#include "routing/route_computer.h"
+#include "sim/kernel.h"
+
+namespace ocn::core {
+
+/// Aggregated network statistics (see also per-NIC / per-router accessors).
+struct NetworkStats {
+  std::int64_t packets_injected = 0;
+  std::int64_t packets_delivered = 0;
+  std::int64_t flits_injected = 0;
+  std::int64_t flits_delivered = 0;
+  std::int64_t packets_dropped = 0;
+  std::int64_t injection_queue_rejects = 0;
+  std::int64_t bypass_flits = 0;
+  std::int64_t idle_reserved_cycles = 0;
+  std::int64_t buffer_reads = 0;
+  std::int64_t buffer_writes = 0;
+  Accumulator latency;          ///< client-to-client, cycles
+  Accumulator network_latency;  ///< injection-to-delivery, cycles
+  Accumulator hops;             ///< links traversed per packet
+  Accumulator link_mm;          ///< wire mm per packet
+};
+
+/// Energy accounting derived from simulation event counts and the paper's
+/// power decomposition (phys::PowerModel).
+struct EnergyReport {
+  std::int64_t hop_events = 0;     ///< flit-link traversals (router to router)
+  double flit_mm = 0.0;            ///< sum over flits of link mm traversed
+  double hop_energy_pj = 0.0;
+  double wire_energy_pj = 0.0;
+  double total_pj = 0.0;
+  double pj_per_delivered_flit = 0.0;
+  /// Data-dependent variant: wire energy charged only for bits that
+  /// actually toggled between consecutive frames (section 4.4's "toggles").
+  /// Random payloads toggle ~half their bits, so this is typically ~half
+  /// the (worst-case) wire_energy_pj.
+  double activity_wire_energy_pj = 0.0;
+};
+
+/// Per-link occupancy for duty-factor analysis (section 4.4).
+struct LinkUsage {
+  NodeId src;
+  topo::Port port;
+  double length_mm;
+  std::int64_t flits;
+};
+
+class Network {
+ public:
+  explicit Network(Config config);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  const Config& config() const { return config_; }
+  const topo::Topology& topology() const { return *topology_; }
+  const routing::RouteComputer& routes() const { return routes_; }
+
+  Nic& nic(NodeId n) { return *nics_[static_cast<std::size_t>(n)]; }
+  router::Router& router_at(NodeId n) { return *routers_[static_cast<std::size_t>(n)]; }
+  int num_nodes() const { return topology_->num_nodes(); }
+
+  Cycle now() const { return kernel_.now(); }
+  void step() { kernel_.tick(); }
+  void run(Cycle cycles) { kernel_.run(cycles); }
+
+  /// The cycle kernel; traffic sources register themselves here so they
+  /// advance in lockstep with the network.
+  Kernel& kernel() { return kernel_; }
+
+  /// True when no flits are queued or in flight anywhere.
+  bool idle() const;
+  /// Run until idle (or max_cycles). Returns true if drained.
+  bool drain(Cycle max_cycles);
+
+  // --- pre-scheduled traffic (sections 2.1 / 2.6) ---------------------------
+  /// Reserve one slot per frame along the route src->dst for the scheduled
+  /// VC, trying frame phases starting from `phase_hint`. Returns the send
+  /// phase the source NIC must use (send cycles satisfy
+  /// cycle % frame == phase), or nullopt if no conflict-free phase exists.
+  /// Requires config.router.exclusive_scheduled_vc.
+  std::optional<Cycle> reserve_flow(NodeId src, NodeId dst, Cycle phase_hint = 0);
+
+  /// Release all reservations made for the given flow phase.
+  void release_flow(NodeId src, NodeId dst, Cycle phase);
+
+  /// Program the same reservations over the network itself via
+  /// register-write packets injected at `config_master` (section 2.1's
+  /// internal network registers). The writes take effect as the packets
+  /// arrive; call drain() before starting the flow.
+  void program_flow_registers(NodeId config_master, NodeId src, NodeId dst, Cycle phase);
+
+  /// Tear the same reservations down over the network (clear-slot writes).
+  void clear_flow_registers(NodeId config_master, NodeId src, NodeId dst, Cycle phase);
+
+  /// Slot times along a flow's path, for one frame period (exposed for
+  /// tests to validate phase arithmetic).
+  std::vector<Cycle> flow_slot_times(NodeId src, NodeId dst, Cycle phase) const;
+
+  // --- fault layer (section 2.5) --------------------------------------------
+  /// The fault transform for the link out of `node` through `port`;
+  /// null unless config.fault_layer. Tile ports have no fault layer.
+  FaultyLinkTransform* link_fault(NodeId node, topo::Port port);
+
+  /// Record every link traversal into `recorder` (nullptr disables).
+  /// Costs one branch per link send while enabled.
+  void enable_tracing(TraceRecorder* recorder);
+
+  // --- statistics ------------------------------------------------------------
+  NetworkStats stats() const;
+  EnergyReport energy(const phys::PowerModel& power) const;
+  std::vector<LinkUsage> link_usage() const;
+  std::int64_t register_writes_applied() const { return register_writes_applied_; }
+
+ private:
+  struct LinkChannels {
+    std::unique_ptr<Channel<router::Flit>> flits;
+    std::unique_ptr<Channel<router::Credit>> credits;
+    NodeId src = kInvalidNode;
+    topo::Port port = topo::Port::kTile;
+    double length_mm = 0.0;
+  };
+
+  void build();
+  void install_register_filters();
+
+  Config config_;
+  std::unique_ptr<topo::Topology> topology_;
+  routing::RouteComputer routes_;
+  Kernel kernel_;
+
+  std::vector<std::unique_ptr<router::Router>> routers_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  std::vector<LinkChannels> links_;
+  // Tile-port channels, indexed by node.
+  std::vector<LinkChannels> inject_links_;
+  std::vector<LinkChannels> eject_links_;
+  std::vector<std::unique_ptr<FaultyLinkTransform>> fault_transforms_;
+
+  std::int64_t register_writes_applied_ = 0;
+
+  // Per-flit active-bit totals for size-gated energy accounting.
+  friend class EnergyProbe;
+};
+
+}  // namespace ocn::core

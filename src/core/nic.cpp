@@ -1,0 +1,309 @@
+#include "core/nic.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "sim/log.h"
+
+namespace ocn::core {
+
+using router::Credit;
+using router::Flit;
+using router::FlitType;
+
+Nic::Nic(NodeId node, const Config& config, const routing::RouteComputer& routes)
+    : node_(node),
+      config_(config),
+      routes_(routes),
+      vc_queues_(static_cast<std::size_t>(config.router.vcs)),
+      queued_packets_per_class_(4, 0),
+      credits_(static_cast<std::size_t>(config.router.vcs), config.router.buffer_depth),
+      inject_arb_(config.router.vcs),
+      eject_pending_(static_cast<std::size_t>(config.router.vcs)),
+      eject_stalled_(static_cast<std::size_t>(config.router.vcs), false),
+      eject_arb_(config.router.vcs),
+      reassembly_(static_cast<std::size_t>(config.router.vcs)),
+      next_packet_id_(static_cast<PacketId>(node) << 40),
+      class_latency_(4) {}
+
+void Nic::attach(Channel<Flit>* inject, Channel<Credit>* inject_credit,
+                 Channel<Flit>* eject, Channel<Credit>* eject_credit) {
+  inject_ = inject;
+  inject_credit_ = inject_credit;
+  eject_ = eject;
+  eject_credit_ = eject_credit;
+}
+
+std::uint8_t Nic::ready_mask() const {
+  std::uint8_t mask = 0;
+  for (std::size_t v = 0; v < credits_.size(); ++v) {
+    const bool ready = config_.router.dropping() || credits_[v] > 0;
+    if (ready) mask |= static_cast<std::uint8_t>(1u << v);
+  }
+  return mask;
+}
+
+void Nic::set_ejection_stall(VcId vc, bool stalled) {
+  eject_stalled_[static_cast<std::size_t>(vc)] = stalled;
+}
+
+void Nic::enqueue_packet_flits(Packet& packet, Cycle now, Cycle send_at) {
+  const bool scheduled = send_at >= 0;
+  const VcId inject_vc =
+      scheduled ? config_.router.scheduled_vc
+                : static_cast<VcId>(2 * packet.service_class);
+  assert(inject_vc < config_.router.vcs);
+
+  packet.src = node_;
+  packet.id = ++next_packet_id_;
+  packet.created = now;
+
+  const int n = packet.num_flits();
+  for (int i = 0; i < n; ++i) {
+    Flit f;
+    if (n == 1) {
+      f.type = FlitType::kHeadTail;
+    } else if (i == 0) {
+      f.type = FlitType::kHead;
+    } else if (i == n - 1) {
+      f.type = FlitType::kTail;
+    } else {
+      f.type = FlitType::kBody;
+    }
+    f.vc = inject_vc;
+    f.vc_mask = vc_mask_for_class(packet.service_class);
+    f.size_code = (i == n - 1) ? static_cast<std::uint8_t>(
+                                     router::size_code_for_bits(packet.last_flit_bits))
+                               : static_cast<std::uint8_t>(router::kMaxSizeCode);
+    if (router::is_head(f.type)) f.route = routes_.compute(node_, packet.dst);
+    f.data = packet.flit_payloads[static_cast<std::size_t>(i)];
+    f.packet = packet.id;
+    f.src = node_;
+    f.dst = packet.dst;
+    f.flit_index = i;
+    f.packet_flits = n;
+    f.created = packet.created;
+    f.injected = now;  // refined when the flit actually departs
+    f.priority = scheduled ? 1000 : packet.service_class;
+    vc_queues_[static_cast<std::size_t>(inject_vc)].push_back(
+        QueuedFlit{std::move(f), send_at});
+  }
+}
+
+bool Nic::inject(Packet packet, Cycle now) {
+  assert(packet.dst >= 0 && packet.dst < routes_.topology().num_nodes());
+  assert(packet.service_class >= 0 && packet.service_class < 4);
+  assert(static_cast<VcId>(2 * packet.service_class + 1) < config_.router.vcs ||
+         config_.router.vcs == 1);
+  if (config_.router.exclusive_scheduled_vc &&
+      packet.service_class == config_.router.scheduled_vc / 2) {
+    // The scheduled VC pair belongs to pre-scheduled traffic: a dynamic
+    // packet of this class could never allocate the excluded odd VC after
+    // a dateline crossing and would wedge its wormhole forever.
+    throw std::logic_error(
+        "Nic::inject: the scheduled service class is reserved for "
+        "pre-scheduled traffic when exclusive_scheduled_vc is set");
+  }
+
+  if (packet.dst == node_) {
+    // Self-delivery short-circuits the network (the route encoding has no
+    // zero-hop form; see routing/source_route.h).
+    packet.src = node_;
+    packet.id = ++next_packet_id_;
+    packet.created = now;
+    packet.injected = now;
+    ++packets_injected_;
+    flits_injected_ += packet.num_flits();
+    loopback_.emplace_back(std::move(packet), now + 1);
+    return true;
+  }
+
+  auto& count = queued_packets_per_class_[static_cast<std::size_t>(packet.service_class)];
+  if (count >= config_.nic_queue_packets) {
+    ++queue_rejects_;
+    return false;
+  }
+  ++count;
+  enqueue_packet_flits(packet, now, /*send_at=*/-1);
+  return true;
+}
+
+void Nic::schedule_packet(Packet packet, Cycle send_at, Cycle now) {
+  assert(packet.num_flits() == 1 && "scheduled traffic uses single-flit packets");
+  assert(packet.dst != node_);
+  packet.scheduled = true;
+  enqueue_packet_flits(packet, now, send_at);
+}
+
+void Nic::step(Cycle now) {
+  // Credits returned by the tile input controller.
+  if (inject_credit_ != nullptr) {
+    if (auto credit = inject_credit_->take()) {
+      if (!config_.router.dropping()) {
+        auto& c = credits_[static_cast<std::size_t>(credit->vc)];
+        ++c;
+        assert(c <= config_.router.buffer_depth);
+      }
+    }
+  }
+  process_ejection(now);
+  do_injection(now);
+  while (!loopback_.empty() && loopback_.front().second <= now) {
+    Packet p = std::move(loopback_.front().first);
+    loopback_.pop_front();
+    p.delivered = now;
+    ++packets_delivered_;
+    flits_delivered_ += p.num_flits();
+    latency_.add(static_cast<double>(p.latency()));
+    network_latency_.add(static_cast<double>(p.network_latency()));
+    hops_.add(0.0);
+    link_mm_.add(0.0);
+    class_latency_[static_cast<std::size_t>(p.service_class)].add(
+        static_cast<double>(p.latency()));
+    deliver(std::move(p));
+  }
+}
+
+void Nic::process_ejection(Cycle now) {
+  if (eject_ == nullptr) return;
+  if (auto flit = eject_->take()) {
+    // Harvest a piggybacked credit for the tile input buffers upstream.
+    if (flit->carried_credit_vc >= 0) {
+      if (!config_.router.dropping()) {
+        auto& c = credits_[static_cast<std::size_t>(flit->carried_credit_vc)];
+        ++c;
+        assert(c <= config_.router.buffer_depth);
+      }
+      flit->carried_credit_vc = -1;
+    }
+    if (flit->type != router::FlitType::kCreditOnly) {
+      eject_pending_[static_cast<std::size_t>(flit->vc)].push_back(std::move(*flit));
+    }
+  }
+  // Consume at most one flit per cycle (the physical port is one flit wide)
+  // from a non-stalled VC, returning its credit.
+  std::vector<bool> requests(eject_pending_.size(), false);
+  for (std::size_t v = 0; v < eject_pending_.size(); ++v) {
+    requests[v] = !eject_pending_[v].empty() && !eject_stalled_[v];
+  }
+  const int vc = eject_arb_.arbitrate(requests);
+  if (vc < 0) return;
+  Flit f = std::move(eject_pending_[static_cast<std::size_t>(vc)].front());
+  eject_pending_[static_cast<std::size_t>(vc)].pop_front();
+  if (!config_.router.dropping()) {
+    if (config_.router.piggyback_credits) {
+      carry_to_router_.push_back(static_cast<VcId>(vc));
+    } else if (eject_credit_ != nullptr) {
+      eject_credit_->send(Credit{static_cast<VcId>(vc)});
+    }
+  }
+  consume_flit(std::move(f), now);
+}
+
+void Nic::consume_flit(Flit flit, Cycle now) {
+  ++flits_delivered_;
+  auto& r = reassembly_[static_cast<std::size_t>(flit.vc)];
+  if (router::is_head(flit.type)) {
+    assert(!r.active && "head flit while a packet is still being reassembled");
+    r.active = true;
+    r.head = flit;
+    r.payloads.clear();
+  }
+  assert(r.active && "body/tail flit without a head");
+  r.payloads.push_back(flit.data);
+  if (!router::is_tail(flit.type)) return;
+
+  Packet p;
+  p.src = r.head.src;
+  p.dst = r.head.dst;
+  p.id = r.head.packet;
+  p.service_class = flit.priority >= 1000 ? 3 : r.head.priority;
+  p.scheduled = flit.priority >= 1000;
+  p.flit_payloads = std::move(r.payloads);
+  p.last_flit_bits = router::data_bits_for_code(flit.size_code);
+  p.created = r.head.created;
+  p.injected = r.head.injected;
+  p.delivered = now;
+  p.hops = flit.hops;
+  p.link_mm = flit.link_mm;
+  r = Reassembly{};
+
+  ++packets_delivered_;
+  latency_.add(static_cast<double>(p.latency()));
+  network_latency_.add(static_cast<double>(p.network_latency()));
+  hops_.add(static_cast<double>(p.hops));
+  link_mm_.add(p.link_mm);
+  class_latency_[static_cast<std::size_t>(p.service_class)].add(
+      static_cast<double>(p.latency()));
+  deliver(std::move(p));
+}
+
+void Nic::do_injection(Cycle now) {
+  if (inject_ == nullptr) return;
+  const int vcs = config_.router.vcs;
+  std::vector<bool> requests(static_cast<std::size_t>(vcs), false);
+  std::vector<int> priority(static_cast<std::size_t>(vcs), 0);
+  for (VcId v = 0; v < vcs; ++v) {
+    auto& q = vc_queues_[static_cast<std::size_t>(v)];
+    if (q.empty()) continue;
+    const QueuedFlit& qf = q.front();
+    if (qf.send_at >= 0) {
+      if (qf.send_at > now) continue;  // wait for the reservation phase
+      if (qf.send_at < now) ++missed_slots_;
+    }
+    const bool ready = config_.router.dropping() || credits_[static_cast<std::size_t>(v)] > 0;
+    if (!ready) continue;
+    requests[static_cast<std::size_t>(v)] = true;
+    priority[static_cast<std::size_t>(v)] = qf.flit.priority;
+  }
+  const int vc = inject_arb_.arbitrate(requests, priority);
+  if (vc < 0) {
+    // Nothing to inject: return pending ejection credits on a credit-only
+    // flit (piggyback mode's idle-cycle filler).
+    if (config_.router.piggyback_credits && !carry_to_router_.empty()) {
+      Flit f;
+      f.type = FlitType::kCreditOnly;
+      f.size_code = 0;
+      f.carried_credit_vc = static_cast<std::int8_t>(carry_to_router_.front());
+      carry_to_router_.pop_front();
+      inject_->send(std::move(f));
+    }
+    return;
+  }
+  auto& q = vc_queues_[static_cast<std::size_t>(vc)];
+  QueuedFlit qf = std::move(q.front());
+  q.pop_front();
+  if (!config_.router.dropping()) --credits_[static_cast<std::size_t>(vc)];
+  if (config_.router.piggyback_credits && !carry_to_router_.empty()) {
+    qf.flit.carried_credit_vc = static_cast<std::int8_t>(carry_to_router_.front());
+    carry_to_router_.pop_front();
+  }
+  qf.flit.injected = now;
+  if (router::is_head(qf.flit.type)) ++packets_injected_;
+  ++flits_injected_;
+  if (router::is_tail(qf.flit.type) && qf.send_at < 0) {
+    --queued_packets_per_class_[static_cast<std::size_t>(qf.flit.priority >= 1000
+                                                             ? 3
+                                                             : qf.flit.priority)];
+  }
+  inject_->send(std::move(qf.flit));
+}
+
+void Nic::deliver(Packet&& packet) {
+  for (const auto& filter : filters_) {
+    if (filter(packet)) return;
+  }
+  if (handler_) {
+    handler_(std::move(packet));
+  } else {
+    received_.push_back(std::move(packet));
+  }
+}
+
+int Nic::queued_flits() const {
+  int n = 0;
+  for (const auto& q : vc_queues_) n += static_cast<int>(q.size());
+  return n;
+}
+
+}  // namespace ocn::core

@@ -1,0 +1,143 @@
+// Network interface controller: the "local logic" of paper section 2.2.
+//
+// Converts client datagrams (Packet) into flit streams and back. Implements
+// the section-2.1 port semantics: per-VC ready (credit) state toward the
+// tile input controller, class-of-service selection via the VC mask, and
+// priority interleaving — injection of a long low-priority packet is
+// interrupted to inject a short high-priority packet and then resumed,
+// because injection arbitration runs per flit across VC queues.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "core/config.h"
+#include "core/interface.h"
+#include "router/arbiter.h"
+#include "routing/route_computer.h"
+#include "sim/kernel.h"
+#include "sim/stats.h"
+
+namespace ocn::core {
+
+class Nic final : public Clockable {
+ public:
+  using DeliveryHandler = std::function<void(Packet&&)>;
+
+  Nic(NodeId node, const Config& config, const routing::RouteComputer& routes);
+
+  void attach(Channel<router::Flit>* inject, Channel<router::Credit>* inject_credit,
+              Channel<router::Flit>* eject, Channel<router::Credit>* eject_credit);
+
+  NodeId node() const { return node_; }
+
+  // --- client API -----------------------------------------------------------
+  /// Queue a datagram for injection. Returns false when the class queue is
+  /// full (client backpressure). Self-addressed packets are delivered
+  /// locally without entering the network.
+  bool inject(Packet packet, Cycle now);
+
+  /// Packets for which no delivery handler is installed accumulate here.
+  std::deque<Packet>& received() { return received_; }
+  void set_delivery_handler(DeliveryHandler handler) { handler_ = std::move(handler); }
+
+  /// Pre-delivery filters (first match consumes the packet); used by the
+  /// network-register decoder and by services that snoop their own message
+  /// types without disturbing the client handler.
+  using Filter = std::function<bool(const Packet&)>;
+  void add_filter(Filter filter) { filters_.push_back(std::move(filter)); }
+
+  /// The section-2.1 "ready" field: bit v set when the network can accept a
+  /// flit on VC v.
+  std::uint8_t ready_mask() const;
+
+  /// Test hook: client refuses delivery on a VC (exercises the ejection
+  /// credit loop).
+  void set_ejection_stall(VcId vc, bool stalled);
+
+  // --- scheduled traffic ----------------------------------------------------
+  /// Queue a single-flit scheduled packet to leave the NIC at exactly
+  /// `send_at` (its reservation phase). Used by traffic::ScheduledFlow.
+  void schedule_packet(Packet packet, Cycle send_at, Cycle now);
+
+  void step(Cycle now) override;
+
+  // --- statistics -----------------------------------------------------------
+  std::int64_t packets_injected() const { return packets_injected_; }
+  std::int64_t packets_delivered() const { return packets_delivered_; }
+  std::int64_t flits_injected() const { return flits_injected_; }
+  std::int64_t flits_delivered() const { return flits_delivered_; }
+  std::int64_t injection_queue_rejects() const { return queue_rejects_; }
+  std::int64_t missed_slots() const { return missed_slots_; }
+  const Accumulator& latency() const { return latency_; }
+  const Accumulator& network_latency() const { return network_latency_; }
+  const Accumulator& hops() const { return hops_; }
+  const Accumulator& link_mm() const { return link_mm_; }
+  const Accumulator& class_latency(int service_class) const {
+    return class_latency_[static_cast<std::size_t>(service_class)];
+  }
+  /// Flits currently queued for injection (all VCs).
+  int queued_flits() const;
+
+ private:
+  struct QueuedFlit {
+    router::Flit flit;
+    Cycle send_at = -1;  ///< exact departure cycle for scheduled flits
+  };
+  struct Reassembly {
+    bool active = false;
+    router::Flit head;  ///< metadata from the head flit
+    std::vector<router::Payload> payloads;
+    int last_bits = router::kDataBits;
+  };
+
+  void enqueue_packet_flits(Packet& packet, Cycle now, Cycle send_at);
+  void process_ejection(Cycle now);
+  void consume_flit(router::Flit flit, Cycle now);
+  void do_injection(Cycle now);
+  void deliver(Packet&& packet);
+
+  NodeId node_;
+  const Config& config_;
+  const routing::RouteComputer& routes_;
+
+  Channel<router::Flit>* inject_ = nullptr;
+  Channel<router::Credit>* inject_credit_ = nullptr;
+  Channel<router::Flit>* eject_ = nullptr;
+  Channel<router::Credit>* eject_credit_ = nullptr;
+
+  std::vector<std::deque<QueuedFlit>> vc_queues_;
+  /// Piggyback mode: credits for the router's tile output controller
+  /// (reassembly slots freed here), carried on injected flits.
+  std::deque<VcId> carry_to_router_;
+  std::vector<int> queued_packets_per_class_;
+  std::vector<int> credits_;
+  router::PriorityArbiter inject_arb_;
+
+  std::vector<std::deque<router::Flit>> eject_pending_;
+  std::vector<bool> eject_stalled_;
+  router::RoundRobinArbiter eject_arb_;
+  std::vector<Reassembly> reassembly_;
+
+  std::deque<std::pair<Packet, Cycle>> loopback_;  ///< self-addressed, (packet, deliver_at)
+
+  DeliveryHandler handler_;
+  std::vector<Filter> filters_;
+  std::deque<Packet> received_;
+
+  PacketId next_packet_id_;
+  std::int64_t packets_injected_ = 0;
+  std::int64_t packets_delivered_ = 0;
+  std::int64_t flits_injected_ = 0;
+  std::int64_t flits_delivered_ = 0;
+  std::int64_t queue_rejects_ = 0;
+  std::int64_t missed_slots_ = 0;
+  Accumulator latency_;
+  Accumulator network_latency_;
+  Accumulator hops_;
+  Accumulator link_mm_;
+  std::vector<Accumulator> class_latency_;
+};
+
+}  // namespace ocn::core

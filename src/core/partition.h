@@ -1,0 +1,89 @@
+// Partitioned interfaces as real sub-networks (paper section 4.2).
+//
+// "A simple solution is to partition the width of the interface into
+// several separate physical networks. Each partition of the interface will
+// require its own control signals... Wide flits could still be transferred
+// by using several of the 32-bit interfaces in parallel, but smaller flits
+// would now only use a fraction of the total interface bandwidth."
+//
+// PartitionedNetwork instantiates N independent physical networks, each
+// carrying data_bits/N per flit. A message of B bits occupies
+// ceil(B / subwidth) partitions for one flit time each, sent in parallel;
+// delivery completes when every sub-flit has arrived. The dispatcher
+// rotates the starting partition per source so narrow messages spread over
+// all partitions.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/network.h"
+
+namespace ocn::core {
+
+struct PartitionedMessage {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  int payload_bits = 0;
+  std::uint64_t word = 0;  ///< first 64 payload bits, for checking
+  Cycle created = 0;
+  Cycle delivered = 0;
+  int partitions_used = 0;
+  Cycle latency() const { return delivered - created; }
+};
+
+class PartitionedNetwork {
+ public:
+  using DeliveryHandler = std::function<void(const PartitionedMessage&)>;
+
+  /// `base` describes each sub-network except its flit width, which becomes
+  /// base.flit_data_bits / partitions.
+  PartitionedNetwork(Config base, int partitions);
+
+  int partitions() const { return static_cast<int>(nets_.size()); }
+  int subflit_bits() const { return subflit_bits_; }
+  Network& partition(int i) { return *nets_[static_cast<std::size_t>(i)]; }
+
+  /// Send `payload_bits` from src to dst. Returns false on backpressure
+  /// (any needed partition NIC queue full).
+  bool send(NodeId src, NodeId dst, int payload_bits, std::uint64_t word = 0);
+
+  void set_delivery_handler(DeliveryHandler h) { handler_ = std::move(h); }
+
+  void step();
+  Cycle now() const { return nets_.front()->now(); }
+  bool drain(Cycle max_cycles);
+
+  // --- statistics -----------------------------------------------------------
+  std::int64_t messages_sent() const { return sent_; }
+  std::int64_t messages_delivered() const { return delivered_; }
+  const Accumulator& latency() const { return latency_; }
+  /// Interface-bandwidth efficiency: payload bits delivered / (sub-flits
+  /// delivered x subflit width). 1.0 = no padding waste.
+  double interface_efficiency() const;
+
+ private:
+  struct Pending {
+    int remaining = 0;
+    PartitionedMessage msg;
+  };
+
+  void on_subflit(const Packet& p);
+
+  int subflit_bits_;
+  std::vector<std::unique_ptr<Network>> nets_;
+  std::vector<int> next_start_;  ///< per-source rotation over partitions
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_msg_id_ = 1;
+
+  DeliveryHandler handler_;
+  std::int64_t sent_ = 0;
+  std::int64_t delivered_ = 0;
+  std::int64_t subflits_delivered_ = 0;
+  std::int64_t payload_bits_delivered_ = 0;
+  Accumulator latency_;
+};
+
+}  // namespace ocn::core

@@ -1,0 +1,85 @@
+#include "core/registers.h"
+
+namespace ocn::core {
+namespace {
+// "OCNREG01" — register write; "OCNREG02" — read request; "OCNREG03" — read
+// response.
+constexpr std::uint64_t kMagic = 0x4f434e5245473031ull;
+constexpr std::uint64_t kReadMagic = 0x4f434e5245473032ull;
+constexpr std::uint64_t kReadRspMagic = 0x4f434e5245473033ull;
+}  // namespace
+
+Packet encode_register_write(NodeId target, const RegisterWrite& write) {
+  // Register traffic travels on the highest dynamic class so configuration
+  // completes ahead of bulk traffic.
+  Packet p = make_packet(target, /*service_class=*/2, /*num_flits=*/1, /*last_flit_bits=*/192);
+  p.flit_payloads[0][0] = kMagic;
+  std::uint64_t fields = 0;
+  fields |= static_cast<std::uint64_t>(write.kind) << 0;
+  fields |= static_cast<std::uint64_t>(static_cast<int>(write.output_port)) << 8;
+  fields |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(write.slot)) << 16;
+  fields |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(write.input_port)) << 40;
+  fields |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(write.vc)) << 48;
+  p.flit_payloads[0][1] = fields;
+  return p;
+}
+
+std::optional<RegisterWrite> decode_register_write(const Packet& packet) {
+  if (packet.num_flits() != 1 || packet.flit_payloads[0][0] != kMagic) {
+    return std::nullopt;
+  }
+  const std::uint64_t fields = packet.flit_payloads[0][1];
+  RegisterWrite w;
+  w.kind = static_cast<RegisterWrite::Kind>(fields & 0xff);
+  w.output_port = static_cast<topo::Port>((fields >> 8) & 0xff);
+  w.slot = static_cast<int>((fields >> 16) & 0xffffff);
+  w.input_port = static_cast<int>((fields >> 40) & 0xff);
+  w.vc = static_cast<VcId>((fields >> 48) & 0xff);
+  return w;
+}
+
+Packet encode_register_read(NodeId target, const RegisterRead& read) {
+  Packet p = make_packet(target, /*service_class=*/2, 1, /*last_flit_bits=*/192);
+  p.flit_payloads[0][0] = kReadMagic;
+  p.flit_payloads[0][1] = static_cast<std::uint64_t>(static_cast<int>(read.output_port)) |
+                          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(read.slot)) << 8) |
+                          (static_cast<std::uint64_t>(read.req_id) << 32);
+  return p;
+}
+
+std::optional<RegisterRead> decode_register_read(const Packet& packet) {
+  if (packet.num_flits() != 1 || packet.flit_payloads[0][0] != kReadMagic) {
+    return std::nullopt;
+  }
+  const std::uint64_t f = packet.flit_payloads[0][1];
+  RegisterRead r;
+  r.output_port = static_cast<topo::Port>(f & 0xff);
+  r.slot = static_cast<int>((f >> 8) & 0xffffff);
+  r.req_id = static_cast<std::uint32_t>(f >> 32);
+  return r;
+}
+
+Packet encode_register_read_response(NodeId requester, const RegisterReadResponse& rsp) {
+  Packet p = make_packet(requester, /*service_class=*/2, 1, /*last_flit_bits=*/192);
+  p.flit_payloads[0][0] = kReadRspMagic;
+  p.flit_payloads[0][1] = static_cast<std::uint64_t>(rsp.req_id) |
+                          (static_cast<std::uint64_t>(rsp.reserved ? 1 : 0) << 32) |
+                          (static_cast<std::uint64_t>(static_cast<std::uint8_t>(rsp.input_port)) << 40) |
+                          (static_cast<std::uint64_t>(static_cast<std::uint8_t>(rsp.vc)) << 48);
+  return p;
+}
+
+std::optional<RegisterReadResponse> decode_register_read_response(const Packet& packet) {
+  if (packet.num_flits() != 1 || packet.flit_payloads[0][0] != kReadRspMagic) {
+    return std::nullopt;
+  }
+  const std::uint64_t f = packet.flit_payloads[0][1];
+  RegisterReadResponse r;
+  r.req_id = static_cast<std::uint32_t>(f & 0xffffffffu);
+  r.reserved = ((f >> 32) & 1u) != 0;
+  r.input_port = static_cast<std::int8_t>((f >> 40) & 0xff);
+  r.vc = static_cast<std::int8_t>((f >> 48) & 0xff);
+  return r;
+}
+
+}  // namespace ocn::core

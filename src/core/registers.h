@@ -1,0 +1,56 @@
+// Network-addressed internal registers (paper section 2.1).
+//
+// "The network also presents a number of registers that can be used to
+// reserve resources for particular virtual channels... to provide time-slot
+// reservations for certain classes of traffic." The paper leaves the
+// programming interface out of scope; we define a faithful one: a register
+// write is an ordinary single-flit packet addressed to a node, carrying a
+// magic word; the network installs a delivery filter at every NIC that
+// decodes such packets and applies them to the local router's reservation
+// tables. Setup software thus programs the whole fabric over the fabric
+// itself, exactly as a real system would at configuration time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/interface.h"
+#include "topo/topology.h"
+
+namespace ocn::core {
+
+struct RegisterWrite {
+  enum class Kind : std::uint8_t { kReserveSlot, kClearSlot };
+  Kind kind = Kind::kReserveSlot;
+  topo::Port output_port = topo::Port::kRowPos;  ///< which output controller
+  int slot = 0;                                  ///< frame slot index
+  int input_port = 0;                            ///< reserved input
+  VcId vc = 0;                                   ///< reserved (scheduled) VC
+};
+
+/// Encode a register write as a packet payload / decode it back.
+/// decode returns nullopt for packets that are not register writes.
+Packet encode_register_write(NodeId target, const RegisterWrite& write);
+std::optional<RegisterWrite> decode_register_write(const Packet& packet);
+
+/// Register read-back: a configuration master can query any router's
+/// reservation slot over the network and receives a response datagram.
+struct RegisterRead {
+  topo::Port output_port = topo::Port::kRowPos;
+  int slot = 0;
+  std::uint32_t req_id = 0;
+};
+
+struct RegisterReadResponse {
+  std::uint32_t req_id = 0;
+  bool reserved = false;
+  int input_port = -1;
+  VcId vc = kInvalidVc;
+};
+
+Packet encode_register_read(NodeId target, const RegisterRead& read);
+std::optional<RegisterRead> decode_register_read(const Packet& packet);
+Packet encode_register_read_response(NodeId requester, const RegisterReadResponse& rsp);
+std::optional<RegisterReadResponse> decode_register_read_response(const Packet& packet);
+
+}  // namespace ocn::core

@@ -1,0 +1,40 @@
+#include "core/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ocn::core {
+namespace {
+const char* type_name(router::FlitType t) {
+  switch (t) {
+    case router::FlitType::kHead: return "head";
+    case router::FlitType::kBody: return "body";
+    case router::FlitType::kTail: return "tail";
+    case router::FlitType::kHeadTail: return "head_tail";
+  }
+  return "?";
+}
+}  // namespace
+
+std::vector<TraceEvent> TraceRecorder::packet_journey(PacketId id) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.packet == id) out.push_back(e);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.cycle < b.cycle; });
+  return out;
+}
+
+std::string TraceRecorder::to_csv() const {
+  std::ostringstream out;
+  out << "cycle,node,port,packet,src,dst,vc,type,flit,bypass\n";
+  for (const auto& e : events_) {
+    out << e.cycle << ',' << e.node << ',' << topo::port_name(e.port) << ',' << e.packet
+        << ',' << e.src << ',' << e.dst << ',' << e.vc << ',' << type_name(e.type) << ','
+        << e.flit_index << ',' << (e.bypass ? 1 : 0) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ocn::core

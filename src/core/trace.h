@@ -1,0 +1,48 @@
+// Flit-level event tracing.
+//
+// When enabled on a Network, every link traversal (including tile
+// injection/ejection channels and reserved-slot bypasses) is recorded as a
+// TraceEvent. The recorder keeps events in memory and can render a CSV for
+// offline analysis, or a per-packet journey for debugging. Tracing is off
+// by default and costs one untaken branch per link send when disabled.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "router/flit.h"
+#include "topo/topology.h"
+
+namespace ocn::core {
+
+struct TraceEvent {
+  Cycle cycle = 0;
+  NodeId node = kInvalidNode;   ///< router driving the link
+  topo::Port port = topo::Port::kTile;
+  PacketId packet = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  VcId vc = 0;
+  router::FlitType type = router::FlitType::kHeadTail;
+  int flit_index = 0;
+  bool bypass = false;  ///< pre-scheduled bypass traversal
+};
+
+class TraceRecorder {
+ public:
+  void record(TraceEvent event) { events_.push_back(event); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Every traversal of one packet, in time order.
+  std::vector<TraceEvent> packet_journey(PacketId id) const;
+
+  /// CSV rendering: cycle,node,port,packet,src,dst,vc,type,flit,bypass
+  std::string to_csv() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace ocn::core

@@ -1,0 +1,43 @@
+#include "phys/area_model.h"
+
+namespace ocn::phys {
+
+AreaBreakdown AreaModel::evaluate() const {
+  AreaBreakdown out{};
+  const double bits = static_cast<double>(params_.flit_phys_bits);
+
+  out.input_buffer_bits_per_edge =
+      static_cast<double>(params_.vcs) * params_.buffer_depth_flits * bits;
+  out.output_buffer_bits_per_edge =
+      static_cast<double>(params_.output_stage_inputs) * bits;
+
+  const double buffer_bits =
+      out.input_buffer_bits_per_edge + out.output_buffer_bits_per_edge;
+  out.buffer_area_um2_per_edge = buffer_bits * tech_.buffer_cell_um2;
+  out.logic_area_um2_per_edge =
+      static_cast<double>(params_.logic_gates_per_edge) * tech_.gate_um2;
+  // One differential driver+receiver pair per link bit, both directions.
+  out.driver_area_um2_per_edge = 2.0 * bits * tech_.driver_pair_um2;
+  out.fixed_area_um2_per_edge = params_.fixed_overhead_um2_per_edge;
+
+  out.total_area_um2_per_edge =
+      out.buffer_area_um2_per_edge + out.logic_area_um2_per_edge +
+      out.driver_area_um2_per_edge + out.fixed_area_um2_per_edge;
+
+  const double tile_um = tech_.tile_mm * 1000.0;
+  out.strip_width_um = out.total_area_um2_per_edge / tile_um;
+  out.router_area_mm2 = 4.0 * out.total_area_um2_per_edge * 1e-6;
+  out.tile_area_mm2 = tech_.tile_mm * tech_.tile_mm;
+  out.fraction_of_tile = out.router_area_mm2 / out.tile_area_mm2;
+
+  // Tracks: each edge carries an inbound and an outbound inter-tile channel
+  // (differential, one shield per pair) plus pass-over wiring for the
+  // input-to-output controller crossings routed through the edge region.
+  const double external = 2.0 * bits * (2.0 + 1.0);  // diff pair + shield
+  const double internal_passover = 2.0 * bits * 2.0; // two crossings, diff
+  out.tracks_used_per_edge = static_cast<int>(external + internal_passover);
+  out.tracks_available_per_edge = tech_.tracks_per_layer_per_edge();
+  return out;
+}
+
+}  // namespace ocn::phys

@@ -1,0 +1,59 @@
+// Router area model (paper section 2.4).
+//
+// The paper estimates that the router logic is "a few thousand gates along
+// each edge of the tile", that buffering dominates (8 VCs x 4 flits x ~300b
+// ~= 1e4 bits per edge), and that everything fits in a strip less than 50um
+// wide by 3mm long per edge: 0.59 mm^2 total, 6.6% of a 3mm x 3mm tile.
+// It also estimates ~3000 of the 6000 available top-metal tracks are used.
+// This model reproduces those numbers from component counts and calibrated
+// cell areas, and — more importantly — shows how they scale with the router
+// configuration (bench E1 sweeps buffers/VCs/width).
+#pragma once
+
+#include "phys/technology.h"
+
+namespace ocn::phys {
+
+/// Router structure parameters that determine area. Defaults are the paper's
+/// example network.
+struct RouterAreaParams {
+  int vcs = 8;                   ///< virtual channels per input controller
+  int buffer_depth_flits = 4;    ///< input buffer depth per VC
+  int flit_phys_bits = 300;      ///< physical flit width incl. control overhead
+  int output_stage_inputs = 4;   ///< single-stage output buffers (one per input connection)
+  int logic_gates_per_edge = 3000;       ///< "a few thousand gates along each edge"
+  double fixed_overhead_um2_per_edge = 15000.0;  ///< steering muxes, reservation regs, clocking
+};
+
+struct AreaBreakdown {
+  double input_buffer_bits_per_edge;   ///< VC input buffers
+  double output_buffer_bits_per_edge;  ///< single-stage output buffers
+  double buffer_area_um2_per_edge;
+  double logic_area_um2_per_edge;
+  double driver_area_um2_per_edge;
+  double fixed_area_um2_per_edge;
+  double total_area_um2_per_edge;
+  double strip_width_um;     ///< total / tile edge length; paper bound: <= 50um
+  double router_area_mm2;    ///< all four edges
+  double tile_area_mm2;
+  double fraction_of_tile;   ///< paper: 0.066
+
+  int tracks_used_per_edge;       ///< differential pairs + shields, in + out + pass-over
+  int tracks_available_per_edge;  ///< per layer; paper: 6000
+};
+
+class AreaModel {
+ public:
+  AreaModel(const Technology& tech, const RouterAreaParams& params)
+      : tech_(tech), params_(params) {}
+
+  AreaBreakdown evaluate() const;
+
+  const RouterAreaParams& params() const { return params_; }
+
+ private:
+  Technology tech_;
+  RouterAreaParams params_;
+};
+
+}  // namespace ocn::phys

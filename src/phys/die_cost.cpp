@@ -1,0 +1,64 @@
+#include "phys/die_cost.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ocn::phys {
+
+DieCostModel::DieCostModel(const Technology& tech, double wafer_diameter_mm,
+                           double defect_density_per_mm2)
+    : tech_(tech),
+      wafer_diameter_mm_(wafer_diameter_mm),
+      defect_density_(defect_density_per_mm2) {}
+
+DieCostReport DieCostModel::score(double die_area, double client_area) const {
+  DieCostReport r;
+  r.client_area_mm2 = client_area;
+  r.die_area_mm2 = die_area;
+  r.utilization = die_area > 0 ? client_area / die_area : 0.0;
+  r.wasted_mm2 = die_area - client_area;
+  // Classic gross-die estimate with edge loss.
+  const double wafer_area = M_PI * wafer_diameter_mm_ * wafer_diameter_mm_ / 4.0;
+  const double edge_loss = M_PI * wafer_diameter_mm_ / std::sqrt(2.0 * die_area);
+  r.dies_per_wafer = static_cast<int>(wafer_area / die_area - edge_loss);
+  if (r.dies_per_wafer < 0) r.dies_per_wafer = 0;
+  // Poisson yield on the *occupied* area only: empty silicon has no
+  // defects that matter (paper section 4.3).
+  r.yield = std::exp(-defect_density_ * client_area);
+  r.good_dies_per_wafer = r.dies_per_wafer * r.yield;
+  return r;
+}
+
+DieCostReport DieCostModel::fixed_tiles(const std::vector<double>& clients) const {
+  const double tile_area = tech_.tile_mm * tech_.tile_mm;
+  double client_total = 0.0;
+  for (double a : clients) {
+    assert(a <= tile_area && "client larger than a tile needs multiple tiles");
+    client_total += a;
+  }
+  const double die_area = static_cast<double>(clients.size()) * tile_area;
+  return score(die_area, client_total);
+}
+
+DieCostReport DieCostModel::compacted(const std::vector<double>& clients) const {
+  // Sort by size and pack k per row; each row is as tall as its largest
+  // client (clients keep the tile's width, shrink in height).
+  const int k = tech_.radix;
+  std::vector<double> sorted = clients;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  double die_area = 0.0;
+  double client_total = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); i += static_cast<std::size_t>(k)) {
+    const std::size_t end = std::min(sorted.size(), i + static_cast<std::size_t>(k));
+    double row_height = 0.0;
+    for (std::size_t j = i; j < end; ++j) {
+      client_total += sorted[j];
+      row_height = std::max(row_height, sorted[j] / tech_.tile_mm);
+    }
+    die_area += row_height * tech_.tile_mm * static_cast<double>(k);
+  }
+  return score(die_area, client_total);
+}
+
+}  // namespace ocn::phys

@@ -1,0 +1,55 @@
+// Die cost of tile quantization (paper section 4.3).
+//
+// "Fixing the size of a tile can potentially waste die area if client
+// modules only occupy a fraction of their tile's area... This increase in
+// chip area affects the number of die per wafer, but does not impact yield
+// since empty silicon is not vulnerable to defects... For a high-volume
+// part, die area can be reduced by compacting the tiles," e.g. by grouping
+// big (small) clients into the same rows/columns.
+#pragma once
+
+#include <vector>
+
+#include "phys/technology.h"
+
+namespace ocn::phys {
+
+struct DieCostReport {
+  double client_area_mm2 = 0.0;   ///< sum of module areas
+  double die_area_mm2 = 0.0;      ///< area actually occupied by the tile grid
+  double utilization = 0.0;       ///< client / die
+  double wasted_mm2 = 0.0;
+  int dies_per_wafer = 0;
+  /// Fraction of fabricated dies that work. Empty silicon is not vulnerable
+  /// to defects (the paper's point), so yield depends on *client* area.
+  double yield = 0.0;
+  /// Working dies per wafer: the figure of merit the paper trades against
+  /// design time.
+  double good_dies_per_wafer = 0.0;
+};
+
+class DieCostModel {
+ public:
+  /// `wafer_diameter_mm` and `defect_density_per_mm2` parameterize the
+  /// classic Poisson yield model: yield = exp(-D * critical_area).
+  DieCostModel(const Technology& tech, double wafer_diameter_mm = 300.0,
+               double defect_density_per_mm2 = 0.001);
+
+  /// Fixed k x k tile grid: every client, whatever its size, occupies one
+  /// tile_mm^2 tile (plus the router overhead accounted inside the tile).
+  DieCostReport fixed_tiles(const std::vector<double>& client_areas_mm2) const;
+
+  /// Compacted layout (the paper's high-volume option): rows are sized to
+  /// the largest client they contain, after sorting clients so similar
+  /// sizes share rows. The network overlay stretches accordingly.
+  DieCostReport compacted(const std::vector<double>& client_areas_mm2) const;
+
+ private:
+  DieCostReport score(double die_area, double client_area) const;
+
+  Technology tech_;
+  double wafer_diameter_mm_;
+  double defect_density_;
+};
+
+}  // namespace ocn::phys

@@ -1,0 +1,76 @@
+#include "phys/power_model.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace ocn::phys {
+
+PowerModel::PowerModel(const Technology& tech, SignalingKind link_signaling)
+    : tech_(tech), link_(tech, link_signaling) {}
+
+double PowerModel::hop_energy_pj(int bits) const {
+  const double b = static_cast<double>(bits);
+  const double logic = (tech_.buffer_write_pj_per_bit + tech_.buffer_read_pj_per_bit +
+                        tech_.control_pj_per_bit) *
+                       b;
+  // Input controller sits on one tile edge, output controller on another;
+  // the crossing averages one tile pitch of low-swing wire (Figure 2).
+  const double crossing = link_.energy_pj(tech_.tile_mm, bits);
+  return logic + crossing;
+}
+
+double PowerModel::wire_energy_pj_per_mm(int bits) const {
+  return link_.energy_pj_per_bit_mm() * static_cast<double>(bits);
+}
+
+double PowerModel::flit_energy_pj(int bits, int hops, double link_mm) const {
+  return hop_energy_pj(bits) * hops + wire_energy_pj_per_mm(bits) * link_mm;
+}
+
+double PowerModel::mesh_avg_hops_exact(int k) {
+  // Expected per-dimension distance under uniform traffic, times two
+  // dimensions. Self-traffic (zero hops) is included, matching the paper's
+  // uniform-random model.
+  double sum = 0.0;
+  for (int i = 0; i < k; ++i)
+    for (int j = 0; j < k; ++j) sum += std::abs(i - j);
+  return 2.0 * sum / (static_cast<double>(k) * k);
+}
+
+double PowerModel::torus_avg_hops_exact(int k) {
+  double sum = 0.0;
+  for (int i = 0; i < k; ++i)
+    for (int j = 0; j < k; ++j) {
+      const int d = std::abs(i - j);
+      sum += std::min(d, k - d);
+    }
+  return 2.0 * sum / (static_cast<double>(k) * k);
+}
+
+TopologyPower PowerModel::mesh_power(int k, int bits) const {
+  TopologyPower p{};
+  p.avg_hops = mesh_avg_hops(k);
+  p.avg_distance_tiles = p.avg_hops;  // one tile pitch per hop
+  p.energy_pj_per_flit = hop_energy_pj(bits) * p.avg_hops +
+                         wire_energy_pj_per_mm(bits) * p.avg_distance_tiles * tech_.tile_mm;
+  return p;
+}
+
+TopologyPower PowerModel::torus_power(int k, int bits) const {
+  TopologyPower p{};
+  p.avg_hops = torus_avg_hops(k);
+  p.avg_distance_tiles = 2.0 * p.avg_hops;  // folded torus: two pitches per hop
+  p.energy_pj_per_flit = hop_energy_pj(bits) * p.avg_hops +
+                         wire_energy_pj_per_mm(bits) * p.avg_distance_tiles * tech_.tile_mm;
+  return p;
+}
+
+double PowerModel::torus_overhead(int k, int bits) const {
+  return torus_power(k, bits).energy_pj_per_flit / mesh_power(k, bits).energy_pj_per_flit;
+}
+
+double PowerModel::wire_to_hop_ratio(int bits) const {
+  return wire_energy_pj_per_mm(bits) * tech_.tile_mm / hop_energy_pj(bits);
+}
+
+}  // namespace ocn::phys

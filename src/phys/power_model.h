@@ -1,0 +1,74 @@
+// Network power model (paper section 3.1).
+//
+// The paper decomposes the energy of moving a flit through the network as
+//
+//     E(flit) = hops * E_hop + distance * E_wire
+//
+// where E_hop covers the traversal of an input and an output controller
+// (buffer write/read, arbitration, and the ~one-tile low-swing crossing from
+// input to output controller inside a tile) and E_wire is the per-mm energy
+// on the structured inter-tile links.
+//
+// Using uniform traffic on a radix-k 2-D network, the paper's approximations
+// are: mesh averages 2k/3 hops of one tile pitch each; the (folded) torus
+// averages k/2 hops of two tile pitches each. From these, mesh is more power
+// efficient iff wire energy dominates hop energy, and for the paper's 16-tile
+// example the torus overhead is "small, less than 15%".
+#pragma once
+
+#include "phys/signaling.h"
+#include "phys/technology.h"
+
+namespace ocn::phys {
+
+struct TopologyPower {
+  double avg_hops;            ///< expected routers traversed (analytic)
+  double avg_distance_tiles;  ///< expected inter-tile wire distance, in tile pitches
+  double energy_pj_per_flit;  ///< hops*E_hop + distance*E_wire
+};
+
+class PowerModel {
+ public:
+  /// The network links use `link_signaling` (the paper's network uses
+  /// low-swing; pass kFullSwing to model a conservative implementation).
+  PowerModel(const Technology& tech,
+             SignalingKind link_signaling = SignalingKind::kLowSwing);
+
+  /// Energy for one flit of `bits` active bits to traverse one router hop:
+  /// buffer write + read + control + the in-tile input-to-output crossing.
+  double hop_energy_pj(int bits) const;
+
+  /// Energy for one flit of `bits` active bits to travel 1 mm of link.
+  double wire_energy_pj_per_mm(int bits) const;
+
+  /// Total flit energy given measured hops and link mm (used to score
+  /// simulation traces).
+  double flit_energy_pj(int bits, int hops, double link_mm) const;
+
+  // --- the paper's analytic mesh/torus comparison --------------------------
+  /// Paper approximation: mesh averages k/3 hops per dimension.
+  static double mesh_avg_hops(int k) { return 2.0 * k / 3.0; }
+  /// Paper approximation: torus averages k/4 hops per dimension.
+  static double torus_avg_hops(int k) { return k / 2.0; }
+  /// Exact expectations under uniform traffic (for validation in tests).
+  static double mesh_avg_hops_exact(int k);
+  static double torus_avg_hops_exact(int k);
+
+  TopologyPower mesh_power(int k, int bits) const;
+  TopologyPower torus_power(int k, int bits) const;
+  /// torus energy / mesh energy; paper: < 1.15 for the example network.
+  double torus_overhead(int k, int bits) const;
+
+  /// Wire energy dominates hop energy iff this exceeds 1 (the regime where
+  /// the paper says mesh wins on power).
+  double wire_to_hop_ratio(int bits) const;
+
+  const Technology& tech() const { return tech_; }
+  const SignalingModel& link_signaling() const { return link_; }
+
+ private:
+  Technology tech_;
+  SignalingModel link_;
+};
+
+}  // namespace ocn::phys

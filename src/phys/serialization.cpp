@@ -1,0 +1,46 @@
+#include "phys/serialization.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ocn::phys {
+
+int SerializationModel::wires_for_flit(double bits_per_wire_per_clock) const {
+  if (bits_per_wire_per_clock < 1.0) bits_per_wire_per_clock = 1.0;
+  return static_cast<int>(std::ceil(flit_bits_ / bits_per_wire_per_clock));
+}
+
+SerdesPoint SerializationModel::at_clock(double clock_ghz) const {
+  SerdesPoint p{};
+  p.clock_ghz = clock_ghz;
+  p.bits_per_wire_per_clock = tech_.wire_rate_gbps / clock_ghz;
+  p.wires_for_flit = wires_for_flit(p.bits_per_wire_per_clock);
+  p.channel_bw_gbps = static_cast<double>(flit_bits_) * clock_ghz;
+  // Differential + one shield per pair, matching the area model's accounting.
+  const double tracks = 3.0 * p.wires_for_flit;
+  p.tracks_fraction_used = tracks / tech_.tracks_per_layer_per_edge();
+  return p;
+}
+
+double PartitionPoint::efficiency_for(int payload_bits) const {
+  if (payload_bits <= 0) return 0.0;
+  const int used_parts =
+      (payload_bits + subflit_data_bits - 1) / subflit_data_bits;
+  const int clamped = std::min(used_parts, parts);
+  // Useful payload bits over interface bits consumed (occupied partitions
+  // must carry their full width for the cycle).
+  return static_cast<double>(std::min(payload_bits, clamped * subflit_data_bits)) /
+         (static_cast<double>(clamped) * subflit_data_bits);
+}
+
+PartitionPoint partition_interface(int data_bits, int control_bits, int parts) {
+  PartitionPoint p{};
+  p.parts = parts;
+  p.subflit_data_bits = data_bits / parts;
+  p.control_bits_total = control_bits * parts;
+  p.wire_overhead =
+      static_cast<double>(data_bits + p.control_bits_total) / data_bits;
+  return p;
+}
+
+}  // namespace ocn::phys

@@ -1,0 +1,55 @@
+// Multi-bit-per-wire serialization (paper section 3.3) and interface
+// partitioning (section 4.2).
+//
+// With aggressive transceivers a wire sustains ~4 Gb/s in the 0.1um process,
+// i.e. 2 bits per clock at an aggressive 2 GHz or 20 bits per clock at a slow
+// 200 MHz. Serializing trades physical wires for time: a 300-bit flit needs
+// only 300/s wires when each carries s bits per cycle.
+#pragma once
+
+#include "phys/technology.h"
+
+namespace ocn::phys {
+
+struct SerdesPoint {
+  double clock_ghz;
+  double bits_per_wire_per_clock;  ///< paper: 2..20 over 2 GHz..200 MHz
+  int wires_for_flit;              ///< physical wires to move one flit per cycle
+  double channel_bw_gbps;          ///< flit_bits * clock
+  double tracks_fraction_used;     ///< wires (diff+shield) / available tracks
+};
+
+class SerializationModel {
+ public:
+  SerializationModel(const Technology& tech, int flit_bits)
+      : tech_(tech), flit_bits_(flit_bits) {}
+
+  /// Evaluate the wires/bandwidth trade at a given router clock.
+  SerdesPoint at_clock(double clock_ghz) const;
+
+  /// Wires needed to carry one flit per cycle at the given serialization.
+  int wires_for_flit(double bits_per_wire_per_clock) const;
+
+  int flit_bits() const { return flit_bits_; }
+
+ private:
+  Technology tech_;
+  int flit_bits_;
+};
+
+/// Interface partitioning (section 4.2): splitting one W-bit interface into
+/// `parts` sub-networks of W/parts bits each. Each partition duplicates the
+/// control signals; small payloads then occupy only one partition.
+struct PartitionPoint {
+  int parts;
+  int subflit_data_bits;       ///< W / parts
+  int control_bits_total;      ///< control overhead duplicated per partition
+  double wire_overhead;        ///< (data+ctl) / data, relative cost in wires
+  /// Fraction of interface bandwidth a payload of `payload_bits` consumes
+  /// usefully (1.0 = no waste).
+  double efficiency_for(int payload_bits) const;
+};
+
+PartitionPoint partition_interface(int data_bits, int control_bits, int parts);
+
+}  // namespace ocn::phys

@@ -1,0 +1,37 @@
+#include "phys/signaling.h"
+
+namespace ocn::phys {
+
+double SignalingModel::energy_pj_per_bit_mm() const {
+  const double c_pf_per_mm = tech_.wire_cap_ff_per_mm * 1e-3;  // pF/mm
+  if (low_swing()) {
+    return c_pf_per_mm * tech_.vdd_v * tech_.low_swing_v;
+  }
+  return c_pf_per_mm * tech_.vdd_v * tech_.vdd_v;
+}
+
+double SignalingModel::energy_pj(double length_mm, int bits) const {
+  return energy_pj_per_bit_mm() * length_mm * static_cast<double>(bits);
+}
+
+double SignalingModel::delay_ps(double length_mm) const {
+  return wires_.repeated_delay_ps(length_mm, low_swing());
+}
+
+double SignalingModel::power_ratio(const Technology& tech) {
+  const SignalingModel full(tech, SignalingKind::kFullSwing);
+  const SignalingModel low(tech, SignalingKind::kLowSwing);
+  return full.energy_pj_per_bit_mm() / low.energy_pj_per_bit_mm();
+}
+
+double SignalingModel::velocity_ratio(const Technology& tech) {
+  const WireModel wires(tech);
+  return wires.velocity_ps_per_mm(false) / wires.velocity_ps_per_mm(true);
+}
+
+double SignalingModel::spacing_ratio(const Technology& tech) {
+  const WireModel wires(tech);
+  return wires.repeater_spacing_mm(true) / wires.repeater_spacing_mm(false);
+}
+
+}  // namespace ocn::phys

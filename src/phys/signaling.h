@@ -1,0 +1,56 @@
+// Signaling circuit models (paper section 4.1).
+//
+// Two transceiver families:
+//  * Full-swing static CMOS — the conservative baseline used for ad-hoc
+//    dedicated wiring whose electrical environment is poorly characterized.
+//  * Pulsed low-swing differential — enabled by the structured, well
+//    characterized network wiring. Versus full swing: ~10x lower energy
+//    (swing-proportional charge), ~3x signal velocity, ~3x repeater spacing.
+#pragma once
+
+#include "phys/technology.h"
+#include "phys/wire_model.h"
+
+namespace ocn::phys {
+
+enum class SignalingKind { kFullSwing, kLowSwing };
+
+class SignalingModel {
+ public:
+  SignalingModel(const Technology& tech, SignalingKind kind)
+      : tech_(tech), kind_(kind), wires_(tech) {}
+
+  SignalingKind kind() const { return kind_; }
+  bool low_swing() const { return kind_ == SignalingKind::kLowSwing; }
+
+  /// Switching energy to send one bit over one mm of wire.
+  /// Full swing: C * Vdd^2. Low swing: C * Vdd * Vswing (charge drawn from
+  /// the rail at Vdd but wire charged only to Vswing).
+  double energy_pj_per_bit_mm() const;
+
+  /// Energy to move one bit the given distance.
+  double energy_pj(double length_mm, int bits = 1) const;
+
+  /// Latency over the given length with optimal repeaters for this family.
+  double delay_ps(double length_mm) const;
+
+  double velocity_ps_per_mm() const { return wires_.velocity_ps_per_mm(low_swing()); }
+  double repeater_spacing_mm() const { return wires_.repeater_spacing_mm(low_swing()); }
+  int repeater_count(double length_mm) const {
+    return wires_.repeater_count(length_mm, low_swing());
+  }
+
+  /// Ratio helpers for reporting against the paper's claims.
+  static double power_ratio(const Technology& tech);      ///< full/low, ~10x
+  static double velocity_ratio(const Technology& tech);   ///< low/full, ~3x
+  static double spacing_ratio(const Technology& tech);    ///< low/full, ~3x
+
+  const Technology& tech() const { return tech_; }
+
+ private:
+  Technology tech_;
+  SignalingKind kind_;
+  WireModel wires_;
+};
+
+}  // namespace ocn::phys

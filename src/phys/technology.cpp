@@ -1,0 +1,19 @@
+#include "phys/technology.h"
+
+#include <cmath>
+
+namespace ocn::phys {
+
+int Technology::tracks_per_layer_per_edge() const {
+  return static_cast<int>(std::floor(tile_mm * 1000.0 / wire_pitch_um));
+}
+
+double Technology::clock_period_ps() const { return 1000.0 / clock_ghz; }
+
+double Technology::bits_per_wire_per_clock() const {
+  return wire_rate_gbps / clock_ghz;
+}
+
+Technology default_technology() { return Technology{}; }
+
+}  // namespace ocn::phys

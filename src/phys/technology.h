@@ -1,0 +1,68 @@
+// Process / geometry parameters for the paper's example chip (section 2):
+// a 12mm x 12mm die in 0.1um CMOS with 0.5um minimum top-metal wire pitch,
+// divided into 16 tiles of 3mm x 3mm.
+//
+// The paper used real silicon estimates; we substitute an analytic technology
+// model whose constants are calibrated so the paper's anchor numbers (6000
+// tracks per layer per edge, 6.6% router area, 10x low-swing power saving,
+// 3x velocity, 3x repeater spacing) *emerge* from the formulas. See DESIGN.md
+// "Substitutions".
+#pragma once
+
+namespace ocn::phys {
+
+struct Technology {
+  // --- geometry -----------------------------------------------------------
+  double chip_mm = 12.0;        ///< die edge
+  double tile_mm = 3.0;         ///< tile edge (chip_mm / radix)
+  int radix = 4;                ///< tiles per row/column (k)
+  double wire_pitch_um = 0.5;   ///< minimum pitch, top two metal layers
+  int signal_layers = 2;        ///< metal layers available to the network
+
+  // --- electrical ---------------------------------------------------------
+  double vdd_v = 1.0;                 ///< full-swing supply
+  double low_swing_v = 0.1;           ///< pulsed low-swing signaling amplitude
+  double wire_res_ohm_per_mm = 150.0; ///< top-metal resistance
+  double wire_cap_ff_per_mm = 250.0;  ///< total (ground + coupling) capacitance
+  double driver_res_ohm = 3000.0;     ///< repeater output resistance (R0)
+  double driver_cap_ff = 6.5;         ///< repeater input capacitance (C0)
+  /// Output resistance of the large buffer driving an unrepeatered global
+  /// wire (sized up relative to a repeater stage).
+  double global_driver_res_ohm = 300.0;
+  /// Overdrive factor of the pulsed low-swing transmitter: signal velocity
+  /// and optimal repeater spacing improve by this factor (paper: "about 3x").
+  double low_swing_overdrive = 3.0;
+
+  // --- area ---------------------------------------------------------------
+  double buffer_cell_um2 = 9.0;   ///< register-file bit cell incl. overhead
+  double gate_um2 = 6.0;          ///< NAND2-equivalent logic gate
+  double driver_pair_um2 = 30.0;  ///< differential driver + receiver pair
+
+  // --- energy (controller logic; wires are computed from C and swing) -----
+  double buffer_write_pj_per_bit = 0.020;
+  double buffer_read_pj_per_bit = 0.015;
+  /// Arbitration, VC state, mux control per flit-hop, amortized per bit.
+  double control_pj_per_bit = 0.005;
+
+  // --- timing -------------------------------------------------------------
+  double clock_ghz = 1.0;           ///< router clock (paper: 0.2 "slow" to 2 "aggressive")
+  double wire_rate_gbps = 4.0;      ///< achievable per-wire signaling rate (section 3.3)
+  double router_mux_delay_ps = 50.0;///< per-hop combinational delay on the
+                                    ///< pre-scheduled bypass path (section 2.6)
+
+  /// Wiring tracks available per metal layer across one tile edge.
+  /// Paper: 3mm / 0.5um = 6000.
+  int tracks_per_layer_per_edge() const;
+
+  /// Router clock period in picoseconds.
+  double clock_period_ps() const;
+
+  /// Bits transferred per wire per clock with serializing transceivers
+  /// (section 3.3: 4 Gb/s per wire => 2 bits at 2 GHz .. 20 bits at 200 MHz).
+  double bits_per_wire_per_clock() const;
+};
+
+/// The paper's example process (0.1um), calibrated as described above.
+Technology default_technology();
+
+}  // namespace ocn::phys

@@ -1,0 +1,53 @@
+#include "phys/wire_model.h"
+
+#include <cmath>
+
+namespace ocn::phys {
+namespace {
+// Sakurai's distributed-RC coefficient.
+constexpr double kDistributedRc = 0.38;
+// Delay coefficient for an optimally repeatered line (Bakoglu):
+// t/len ~= K * sqrt(r * c * R0 * C0).
+constexpr double kRepeatedCoeff = 2.5;
+}  // namespace
+
+double WireModel::unrepeated_delay_ps(double length_mm) const {
+  const double r = tech_.wire_res_ohm_per_mm;        // ohm/mm
+  const double c = tech_.wire_cap_ff_per_mm * 1e-15; // F/mm
+  const double rc_s = kDistributedRc * r * c * length_mm * length_mm;
+  const double driver_s = 0.69 * tech_.global_driver_res_ohm * c * length_mm;
+  return (rc_s + driver_s) * 1e12;
+}
+
+double WireModel::repeater_spacing_mm(bool low_swing) const {
+  const double r = tech_.wire_res_ohm_per_mm;
+  const double c = tech_.wire_cap_ff_per_mm * 1e-15;
+  const double base =
+      std::sqrt(2.0 * tech_.driver_res_ohm * tech_.driver_cap_ff * 1e-15 / (r * c));
+  return low_swing ? base * tech_.low_swing_overdrive : base;
+}
+
+int WireModel::repeater_count(double length_mm, bool low_swing) const {
+  const double spacing = repeater_spacing_mm(low_swing);
+  const int segments = static_cast<int>(std::ceil(length_mm / spacing));
+  return segments > 0 ? segments - 1 : 0;
+}
+
+double WireModel::velocity_ps_per_mm(bool low_swing) const {
+  const double r = tech_.wire_res_ohm_per_mm;
+  const double c = tech_.wire_cap_ff_per_mm * 1e-15;
+  const double v_full =
+      kRepeatedCoeff *
+      std::sqrt(r * c * tech_.driver_res_ohm * tech_.driver_cap_ff * 1e-15) * 1e12;
+  return low_swing ? v_full / tech_.low_swing_overdrive : v_full;
+}
+
+double WireModel::repeated_delay_ps(double length_mm, bool low_swing) const {
+  // With the transmitter and any repeaters optimally sized for the length,
+  // delay is linear at the family's signal velocity. (Below one repeater
+  // segment the single driver plays the repeater's role, so the same
+  // velocity applies; the repeater count still matters for area/layout.)
+  return velocity_ps_per_mm(low_swing) * length_mm;
+}
+
+}  // namespace ocn::phys

@@ -1,0 +1,46 @@
+// Distributed-RC wire delay, repeater insertion, and signal velocity
+// (paper sections 3.3 and 4.1).
+//
+// Classic Bakoglu-style analysis: an unrepeated wire has delay quadratic in
+// length; inserting optimally sized/spaced repeaters makes delay linear.
+// The paper's pulsed low-swing transmitters overdrive the wire, improving
+// signal velocity and optimal repeater spacing by ~3x.
+#pragma once
+
+#include "phys/technology.h"
+
+namespace ocn::phys {
+
+class WireModel {
+ public:
+  explicit WireModel(const Technology& tech) : tech_(tech) {}
+
+  /// Delay of an unrepeated wire of the given length (distributed RC,
+  /// Sakurai coefficient 0.38) plus the driver charging the total load.
+  double unrepeated_delay_ps(double length_mm) const;
+
+  /// Optimal repeater spacing for full-swing static CMOS repeaters.
+  double repeater_spacing_mm(bool low_swing = false) const;
+
+  /// Number of repeaters needed along a wire (0 if it fits in one segment).
+  int repeater_count(double length_mm, bool low_swing = false) const;
+
+  /// Delay of an optimally repeatered wire: linear in length.
+  double repeated_delay_ps(double length_mm, bool low_swing = false) const;
+
+  /// Signal velocity (ps per mm) with optimal repeaters.
+  double velocity_ps_per_mm(bool low_swing = false) const;
+
+  /// Delay of the conservative dedicated-wiring baseline the paper argues
+  /// against (section 4.1): full-swing static CMOS with optimal repeaters.
+  double dedicated_wire_delay_ps(double length_mm) const {
+    return repeated_delay_ps(length_mm, /*low_swing=*/false);
+  }
+
+  const Technology& tech() const { return tech_; }
+
+ private:
+  Technology tech_;
+};
+
+}  // namespace ocn::phys

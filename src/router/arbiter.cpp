@@ -1,0 +1,34 @@
+#include "router/arbiter.h"
+
+#include <cassert>
+
+namespace ocn::router {
+
+int RoundRobinArbiter::arbitrate(const std::vector<bool>& requests) {
+  assert(static_cast<int>(requests.size()) == inputs_);
+  for (int i = 0; i < inputs_; ++i) {
+    const int candidate = (next_ + i) % inputs_;
+    if (requests[candidate]) {
+      next_ = (candidate + 1) % inputs_;
+      return candidate;
+    }
+  }
+  return -1;
+}
+
+int PriorityArbiter::arbitrate(const std::vector<bool>& requests,
+                               const std::vector<int>& priority) {
+  assert(requests.size() == priority.size());
+  int best = -1;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i] && (best < 0 || priority[i] > best)) best = priority[i];
+  }
+  if (best < 0) return -1;
+  std::vector<bool> filtered(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    filtered[i] = requests[i] && priority[i] == best;
+  }
+  return rr_.arbitrate(filtered);
+}
+
+}  // namespace ocn::router

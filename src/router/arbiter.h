@@ -1,0 +1,42 @@
+// Arbiters used for switch and link allocation.
+//
+// RoundRobinArbiter rotates a grant pointer for fairness; the priority-aware
+// variant first filters to the highest requested priority level, then breaks
+// ties round-robin. Priority levels come from VC classes so that, per the
+// paper (section 2.1), a short high-priority packet overtakes long
+// low-priority traffic at every arbitration point.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ocn::router {
+
+class RoundRobinArbiter {
+ public:
+  explicit RoundRobinArbiter(int inputs) : inputs_(inputs) {}
+
+  /// Grant one of the requesting inputs (request[i] true), or -1 if none.
+  /// Advances the pointer past the winner so grants rotate.
+  int arbitrate(const std::vector<bool>& requests);
+
+  int inputs() const { return inputs_; }
+
+ private:
+  int inputs_;
+  int next_ = 0;
+};
+
+class PriorityArbiter {
+ public:
+  explicit PriorityArbiter(int inputs) : rr_(inputs) {}
+
+  /// Grant among the highest-priority requesters; ties rotate.
+  /// `priority[i]` is only inspected where requests[i] is true.
+  int arbitrate(const std::vector<bool>& requests, const std::vector<int>& priority);
+
+ private:
+  RoundRobinArbiter rr_;
+};
+
+}  // namespace ocn::router

@@ -1,0 +1,15 @@
+#include "router/flit.h"
+
+#include <cassert>
+
+namespace ocn::router {
+
+int size_code_for_bits(int bits) {
+  assert(bits >= 1 && bits <= kDataBits);
+  int code = 0;
+  while (data_bits_for_code(code) < bits) ++code;
+  assert(code <= kMaxSizeCode);
+  return code;
+}
+
+}  // namespace ocn::router

@@ -1,0 +1,96 @@
+// Flits and credits: the units exchanged across router channels.
+//
+// The field set mirrors the paper's port interface (section 2.1): a 256-bit
+// data field plus control subfields — type (head/body/tail/idle, where a
+// flit may be both head and tail), logarithmic size, an 8-bit virtual
+// channel mask naming the class of service, and the 16-bit source route
+// (meaningful on head flits only; usable as extra data otherwise).
+// Simulation-only metadata (ids, timestamps) is segregated at the bottom of
+// the struct and carries no modelled wires.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "routing/source_route.h"
+#include "sim/types.h"
+
+namespace ocn::router {
+
+enum class FlitType : std::uint8_t {
+  kHead,
+  kBody,
+  kTail,
+  kHeadTail,    ///< single-flit packet: head and tail at once
+  kCreditOnly,  ///< no payload; exists only to carry a piggybacked credit
+};
+
+inline bool is_head(FlitType t) { return t == FlitType::kHead || t == FlitType::kHeadTail; }
+inline bool is_tail(FlitType t) { return t == FlitType::kTail || t == FlitType::kHeadTail; }
+
+/// 256-bit data field.
+using Payload = std::array<std::uint64_t, 4>;
+
+/// Logarithmic size encoding: code 0 = 1 bit .. code 8 = 256 bits.
+inline constexpr int kMaxSizeCode = 8;
+inline int data_bits_for_code(int code) { return 1 << code; }
+/// Smallest code whose field holds `bits` bits.
+int size_code_for_bits(int bits);
+
+struct Flit {
+  FlitType type = FlitType::kHeadTail;
+  VcId vc = 0;                 ///< virtual channel occupied on the incoming link
+  std::uint8_t vc_mask = 0xFF; ///< class-of-service mask (head flits)
+  std::uint8_t size_code = kMaxSizeCode;
+  routing::SourceRoute route;  ///< remaining route (head flits)
+  Payload data{};
+
+  /// Set while the packet is past the dateline of the ring it is currently
+  /// traversing; selects the odd VC of the class (deadlock avoidance,
+  /// DESIGN.md). Cleared on dimension change.
+  bool dateline_crossed = false;
+
+  /// Piggybacked credit (paper section 2.3: "Credits for buffer allocation
+  /// are piggybacked on flits travelling in the reverse direction").
+  /// -1 when the flit carries none; otherwise the VC whose buffer slot was
+  /// freed on the link travelling the other way.
+  std::int8_t carried_credit_vc = -1;
+
+  // --- simulation metadata (not modelled wires) ---------------------------
+  PacketId packet = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  int flit_index = 0;     ///< position within the packet
+  int packet_flits = 1;   ///< total flits in the packet
+  Cycle created = 0;      ///< client handed the packet to the NIC
+  Cycle injected = 0;     ///< head flit entered the network
+  int hops = 0;           ///< router-to-router links traversed so far
+  double link_mm = 0.0;   ///< physical link distance accumulated
+  int priority = 0;       ///< derived from VC class; larger wins arbitration
+
+  int data_bits() const { return data_bits_for_code(size_code); }
+};
+
+/// Credit returned upstream when a flit leaves an input buffer. The paper
+/// piggybacks credits on reverse-direction flits; we model the same latency
+/// with a dedicated credit channel.
+struct Credit {
+  VcId vc = 0;
+};
+
+/// Physical bit count of a flit on the wire: data + type + size + vc mask +
+/// route (~286), padded with parity/spare to the paper's ~300.
+inline constexpr int kDataBits = 256;
+inline constexpr int kControlBits = 2 + 4 + 8 + 16;
+inline constexpr int kFlitPhysBits = 300;
+
+/// Hook applied to every flit as it is driven onto a link; the fault layer
+/// (core/fault.h) uses it to push payload bits through the spare-bit
+/// steering datapath.
+class LinkTransform {
+ public:
+  virtual ~LinkTransform() = default;
+  virtual void apply(Flit& flit) = 0;
+};
+
+}  // namespace ocn::router

@@ -1,0 +1,112 @@
+#include "router/input_controller.h"
+
+#include <cassert>
+
+#include "router/output_controller.h"
+#include "sim/log.h"
+
+namespace ocn::router {
+
+using topo::Port;
+using routing::TurnCode;
+
+InputController::InputController(Port port, const RouterParams& params)
+    : port_(port), params_(params), discarding_(params.vcs, false) {
+  vcs_.reserve(static_cast<std::size_t>(params.vcs));
+  for (int v = 0; v < params.vcs; ++v) vcs_.emplace_back(params.buffer_depth);
+}
+
+void InputController::attach(Channel<Flit>* in, Channel<Credit>* credit_upstream) {
+  in_ = in;
+  credit_upstream_ = credit_upstream;
+}
+
+void InputController::accept_arrival() {
+  if (in_ == nullptr) return;
+  auto flit = in_->take();
+  if (!flit) return;
+  // Harvest a piggybacked credit: it belongs to the co-located output
+  // controller driving the reverse direction of this link.
+  if (flit->carried_credit_vc >= 0) {
+    assert(reverse_out_ != nullptr);
+    reverse_out_->receive_credit(flit->carried_credit_vc);
+    flit->carried_credit_vc = -1;
+  }
+  if (flit->type == FlitType::kCreditOnly) return;  // nothing to buffer
+  ++flits_arrived_;
+  const auto v = static_cast<std::size_t>(flit->vc);
+  assert(v < vcs_.size());
+  VcBuffer& buf = vcs_[v];
+
+  if (params_.dropping()) {
+    if (discarding_[v]) {
+      // Mid-drop: discard through the tail.
+      ++flits_dropped_;
+      if (is_tail(flit->type)) discarding_[v] = false;
+      return;
+    }
+    if (is_head(flit->type) &&
+        buf.capacity() - buf.size() < flit->packet_flits) {
+      // Contention: drop the whole packet (space for the full packet is
+      // required up front so wormholes never strand mid-packet).
+      ++packets_dropped_;
+      ++flits_dropped_;
+      if (!is_tail(flit->type)) discarding_[v] = true;
+      OCN_TRACE("drop pkt %lld at %s vc %d", static_cast<long long>(flit->packet),
+                topo::port_name(port_), flit->vc);
+      return;
+    }
+  }
+
+  ++buffer_writes_;
+  buf.push(std::move(*flit));
+}
+
+void InputController::decode(VcBuffer& buf, Cycle now) {
+  if (buf.routed || buf.empty()) return;
+  Flit& head = buf.front();
+  if (!is_head(head.type)) {
+    // A body flit at the front of an unrouted VC would mean interleaved
+    // packets on one VC — a protocol violation.
+    assert(false && "body flit at front of unrouted VC");
+    return;
+  }
+  assert(!head.route.empty() && "head flit arrived with an exhausted route");
+  const std::uint8_t code = head.route.pop();
+  if (port_ == Port::kTile) {
+    // Injection hop: absolute direction code.
+    buf.out_port = routing::injection_port(code);
+  } else {
+    buf.out_port = routing::apply_turn(port_, static_cast<TurnCode>(code));
+  }
+  buf.routed = true;
+  buf.routed_at = now;
+}
+
+void InputController::decode_fronts(Cycle now) {
+  for (auto& buf : vcs_) decode(buf, now);
+}
+
+Flit InputController::pop(VcId v) {
+  VcBuffer& buf = vcs_[static_cast<std::size_t>(v)];
+  assert(!buf.empty());
+  assert(!popped_this_cycle_ && "one flit per input port per cycle");
+  popped_this_cycle_ = true;
+  ++buffer_reads_;
+  Flit f = buf.pop();
+  if (is_tail(f.type)) buf.reset_packet_state();
+  // Credit-based flow control returns the freed slot upstream: via the
+  // reverse-direction carry queue when piggybacking, else on the dedicated
+  // credit wire. In dropping mode there is no credit loop.
+  if (!params_.dropping()) {
+    if (params_.piggyback_credits) {
+      assert(reverse_out_ != nullptr);
+      reverse_out_->queue_carry(v);
+    } else if (credit_upstream_ != nullptr) {
+      credit_upstream_->send(Credit{v});
+    }
+  }
+  return f;
+}
+
+}  // namespace ocn::router

@@ -1,0 +1,165 @@
+#include "router/output_controller.h"
+
+#include <bit>
+#include <cassert>
+
+namespace ocn::router {
+
+OutputController::OutputController(topo::Port port, const RouterParams& params)
+    : port_(port),
+      params_(params),
+      credits_(params.vcs, params.buffer_depth),
+      vc_alloc_(params.vcs, params.enforce_vc_parity),
+      reservations_(params.reservation_frame),
+      link_arb_(topo::kNumPorts) {
+  if (params.exclusive_scheduled_vc) {
+    vc_alloc_.set_excluded(params.scheduled_vc, true);
+  }
+}
+
+void OutputController::attach(Channel<Flit>* link, Channel<Credit>* credit_downstream,
+                              double length_mm) {
+  link_ = link;
+  credit_downstream_ = credit_downstream;
+  length_mm_ = length_mm;
+}
+
+void OutputController::process_credits() {
+  if (credit_downstream_ == nullptr) return;
+  if (params_.dropping()) {
+    credit_downstream_->take();  // no credit loop in dropping mode
+    return;
+  }
+  if (auto credit = credit_downstream_->take()) {
+    auto& c = credits_[static_cast<std::size_t>(credit->vc)];
+    ++c;
+    assert(c <= params_.buffer_depth && "credit overflow: more credits than buffer slots");
+  }
+}
+
+void OutputController::receive_credit(VcId vc) {
+  auto& c = credits_[static_cast<std::size_t>(vc)];
+  ++c;
+  assert(c <= params_.buffer_depth && "credit overflow via piggyback path");
+}
+
+bool OutputController::has_credit(VcId vc) const {
+  if (params_.dropping()) return true;  // no credit loop in dropping mode
+  return credits_[static_cast<std::size_t>(vc)] > 0;
+}
+
+void OutputController::consume_credit(VcId vc) {
+  if (params_.dropping()) return;
+  auto& c = credits_[static_cast<std::size_t>(vc)];
+  assert(c > 0);
+  --c;
+}
+
+void OutputController::stage_push(int input, Flit f) {
+  const auto i = static_cast<std::size_t>(input);
+  assert(!stage_[i].has_value() && "output stage slot occupied");
+  stage_[i] = std::move(f);
+  fresh_[i] = true;
+}
+
+void OutputController::send_on_link(Flit f, bool bypass) {
+  assert(link_ != nullptr);
+  assert(!link_used_);
+  link_used_ = true;
+  if (params_.piggyback_credits && !carry_queue_.empty()) {
+    f.carried_credit_vc = static_cast<std::int8_t>(carry_queue_.front());
+    carry_queue_.pop_front();
+  }
+  ++flits_sent_;
+  if (is_tail(f.type) && vc_alloc_.is_allocated(f.vc)) {
+    vc_alloc_.release(f.vc);
+  }
+  const int active_bits = kControlBits + f.data_bits();
+  active_bits_sent_ += active_bits;
+  // Toggle accounting: Hamming distance of the active data bits against the
+  // previous frame, plus a control-field estimate (half the control bits).
+  {
+    int toggles = kControlBits / 2;
+    if (has_last_sent_) {
+      const int words = (f.data_bits() + 63) / 64;
+      for (int w = 0; w < words; ++w) {
+        std::uint64_t diff = f.data[static_cast<std::size_t>(w)] ^
+                             last_sent_.data[static_cast<std::size_t>(w)];
+        if (w == words - 1 && f.data_bits() % 64 != 0) {
+          diff &= (std::uint64_t{1} << (f.data_bits() % 64)) - 1;
+        }
+        toggles += std::popcount(diff);
+      }
+    } else {
+      toggles += f.data_bits() / 2;  // first frame: assume half the bits move
+    }
+    toggled_bits_ += toggles;
+    if (port_ != topo::Port::kTile) {
+      toggled_bit_mm_ += static_cast<double>(toggles) * length_mm_;
+    }
+    last_sent_ = f;
+    has_last_sent_ = true;
+  }
+  if (port_ != topo::Port::kTile) {
+    ++f.hops;
+    f.link_mm += length_mm_;
+    active_bit_mm_ += static_cast<double>(active_bits) * length_mm_;
+  }
+  if (transform_ != nullptr) transform_->apply(f);
+  if (tracer_) tracer_(f, bypass);
+  link_->send(std::move(f));
+}
+
+void OutputController::send_bypass(Flit f) {
+  ++bypass_flits_;
+  send_on_link(std::move(f), /*bypass=*/true);
+}
+
+void OutputController::arbitrate_link(Cycle now) {
+  if (link_ == nullptr || link_used_) return;
+  const bool slot_reserved = reservations_.any() && reservations_.reserved_at(now);
+  if (slot_reserved && !params_.reclaim_idle_slots) {
+    // The reserved flit did not show; the cycle is lost to the reservation.
+    ++idle_reserved_cycles_;
+    return;
+  }
+  std::vector<bool> requests(topo::kNumPorts, false);
+  std::vector<int> priority(topo::kNumPorts, 0);
+  int ready = 0;
+  for (int i = 0; i < topo::kNumPorts; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (stage_[idx].has_value() && !fresh_[idx]) {
+      requests[idx] = true;
+      priority[idx] = params_.priority_arbitration ? stage_[idx]->priority : 0;
+      ++ready;
+    }
+  }
+  if (ready == 0) {
+    // Idle link with credits to return: emit a credit-only flit (the
+    // piggyback scheme's filler, costing a handful of control bits).
+    if (params_.piggyback_credits && !carry_queue_.empty()) {
+      Flit f;
+      f.type = FlitType::kCreditOnly;
+      f.size_code = 0;
+      f.carried_credit_vc = static_cast<std::int8_t>(carry_queue_.front());
+      carry_queue_.pop_front();
+      link_used_ = true;
+      ++credit_only_flits_;
+      link_->send(std::move(f));
+    }
+    return;
+  }
+  const int winner = link_arb_.arbitrate(requests, priority);
+  assert(winner >= 0);
+  contention_cycles_ += ready - 1;
+  Flit f = std::move(*stage_[static_cast<std::size_t>(winner)]);
+  stage_[static_cast<std::size_t>(winner)].reset();
+  send_on_link(std::move(f), /*bypass=*/false);
+}
+
+void OutputController::end_cycle() {
+  fresh_.fill(false);
+  link_used_ = false;
+}
+
+}  // namespace ocn::router

@@ -1,0 +1,25 @@
+#include "router/reservation.h"
+
+#include <cassert>
+
+namespace ocn::router {
+
+bool ReservationTable::reserve(int slot, int input, VcId vc) {
+  assert(slot >= 0 && slot < frame());
+  if (slots_[slot].reserved()) return false;
+  slots_[slot] = Slot{input, vc};
+  return true;
+}
+
+void ReservationTable::clear(int slot) {
+  assert(slot >= 0 && slot < frame());
+  slots_[slot] = Slot{};
+}
+
+int ReservationTable::reserved_count() const {
+  int n = 0;
+  for (const auto& s : slots_) n += s.reserved() ? 1 : 0;
+  return n;
+}
+
+}  // namespace ocn::router

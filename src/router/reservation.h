@@ -1,0 +1,48 @@
+// Cyclic reservation registers (paper sections 2.1 and 2.6).
+//
+// Each output controller owns a slot table of `frame` entries addressed by
+// cycle mod frame. When the system is configured, routes are laid out for
+// all static traffic and reservations are made for each link of each route.
+// At run time a pre-scheduled flit moves from link to link without
+// arbitration or delay by riding its reserved slots; dynamic traffic
+// arbitrates for the remaining cycles.
+#pragma once
+
+#include <vector>
+
+#include "sim/types.h"
+
+namespace ocn::router {
+
+class ReservationTable {
+ public:
+  struct Slot {
+    int input = -1;           ///< input port holding the reserved flit
+    VcId vc = kInvalidVc;     ///< its (scheduled) virtual channel
+    bool reserved() const { return input >= 0; }
+  };
+
+  explicit ReservationTable(int frame) : slots_(frame > 0 ? frame : 1) {}
+
+  int frame() const { return static_cast<int>(slots_.size()); }
+
+  /// Claim a slot. Returns false if the slot is already taken (the caller —
+  /// reservation setup — must then choose a different phase).
+  bool reserve(int slot, int input, VcId vc);
+  void clear(int slot);
+
+  const Slot& at(Cycle now) const { return slots_[index(now)]; }
+  bool reserved_at(Cycle now) const { return at(now).reserved(); }
+
+  int reserved_count() const;
+  bool any() const { return reserved_count() > 0; }
+
+ private:
+  int index(Cycle now) const {
+    const auto f = static_cast<Cycle>(slots_.size());
+    return static_cast<int>(((now % f) + f) % f);
+  }
+  std::vector<Slot> slots_;
+};
+
+}  // namespace ocn::router

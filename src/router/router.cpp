@@ -1,0 +1,172 @@
+#include "router/router.h"
+
+#include <cassert>
+
+namespace ocn::router {
+
+using topo::Port;
+
+Router::Router(NodeId node, const topo::Topology& topology, const RouterParams& params)
+    : node_(node), topo_(topology), params_(params) {
+  inputs_.reserve(topo::kNumPorts);
+  outputs_.reserve(topo::kNumPorts);
+  switch_arbs_.reserve(topo::kNumPorts);
+  for (int p = 0; p < topo::kNumPorts; ++p) {
+    inputs_.emplace_back(static_cast<Port>(p), params_);
+    outputs_.emplace_back(static_cast<Port>(p), params_);
+    switch_arbs_.emplace_back(params_.vcs);
+  }
+  for (int p = 0; p < topo::kNumPorts; ++p) {
+    const Port rev = topo::reverse(static_cast<Port>(p));
+    inputs_[static_cast<std::size_t>(p)].set_reverse_output(
+        &outputs_[static_cast<std::size_t>(rev)]);
+  }
+}
+
+bool Router::effective_dateline(const Flit& head, Port in_port, Port out_port) const {
+  if (out_port == Port::kTile) return head.dateline_crossed;
+  bool crossed = head.dateline_crossed;
+  // Entering a new dimension (or entering the network) resets the state.
+  if (in_port == Port::kTile || topo::dim_of(in_port) != topo::dim_of(out_port)) {
+    crossed = false;
+  }
+  if (topo_.crosses_dateline(node_, out_port)) crossed = true;
+  return crossed;
+}
+
+void Router::step(Cycle now) {
+  for (auto& out : outputs_) out.process_credits();
+  for (auto& in : inputs_) in.accept_arrival();
+  for (auto& in : inputs_) in.decode_fronts(now);
+  vc_allocation(now);
+  reservation_bypass(now);
+  link_arbitration(now);
+  switch_traversal(now);
+  for (auto& in : inputs_) in.end_cycle();
+  for (auto& out : outputs_) out.end_cycle();
+}
+
+void Router::vc_allocation(Cycle now) {
+  // Rotate the input starting point so no input gets structural priority on
+  // downstream VCs.
+  const int start = alloc_rotate_;
+  alloc_rotate_ = (alloc_rotate_ + 1) % topo::kNumPorts;
+  for (int i = 0; i < topo::kNumPorts; ++i) {
+    auto& in = inputs_[static_cast<std::size_t>((start + i) % topo::kNumPorts)];
+    if (!in.attached()) continue;
+    for (VcId v = 0; v < in.num_vcs(); ++v) {
+      VcBuffer& buf = in.vc(v);
+      if (!buf.routed || buf.out_vc != kInvalidVc || buf.empty()) continue;
+      // Conservative pipeline: decode and allocation are separate stages.
+      if (!params_.speculative && buf.routed_at >= now) continue;
+      const Flit& head = buf.front();
+      if (!is_head(head.type)) continue;  // alloc happens at the head only
+      auto& out = outputs_[static_cast<std::size_t>(buf.out_port)];
+      if (v == params_.scheduled_vc && params_.exclusive_scheduled_vc) {
+        // Pre-scheduled traffic keeps its dedicated VC end to end; slots
+        // were reserved at configuration time so no allocation is needed.
+        buf.out_vc = params_.scheduled_vc;
+        continue;
+      }
+      if (params_.dropping()) {
+        // Dropping flow control keeps the same VC index across hops; the
+        // VC is still owned for the packet's duration so wormholes from
+        // different inputs never interleave on one link VC.
+        if (out.vc_alloc().allocate_exact(v)) buf.out_vc = v;
+        continue;
+      }
+      const bool want_odd = effective_dateline(head, in.port(), buf.out_port);
+      const bool ignore_parity = buf.out_port == Port::kTile;
+      const VcId granted = out.vc_alloc().allocate(head.vc_mask, want_odd, ignore_parity);
+      if (granted != kInvalidVc) buf.out_vc = granted;
+    }
+  }
+}
+
+Flit Router::take_flit(InputController& in, VcId vc, Port out_port, VcId out_vc) {
+  VcBuffer& buf = in.vc(vc);
+  Flit f = in.pop(vc);
+  if (is_head(f.type)) {
+    f.dateline_crossed = effective_dateline(f, in.port(), out_port);
+  }
+  f.vc = out_vc;
+  (void)buf;
+  return f;
+}
+
+void Router::reservation_bypass(Cycle now) {
+  for (auto& out : outputs_) {
+    if (!out.attached() || !out.reservations().any()) continue;
+    const auto& slot = out.reservations().at(now);
+    if (!slot.reserved()) continue;
+    auto& in = inputs_[static_cast<std::size_t>(slot.input)];
+    if (!in.attached() || in.popped_this_cycle()) continue;
+    VcBuffer& buf = in.vc(slot.vc);
+    if (buf.empty() || !buf.routed || buf.out_port != out.port()) continue;
+    if (buf.out_vc == kInvalidVc) continue;
+    if (!out.has_credit(buf.out_vc)) continue;  // reservation mis-set; wait
+    const VcId out_vc = buf.out_vc;
+    out.consume_credit(out_vc);
+    Flit f = take_flit(in, slot.vc, out.port(), out_vc);
+    out.send_bypass(std::move(f));
+  }
+}
+
+void Router::link_arbitration(Cycle now) {
+  for (auto& out : outputs_) {
+    if (out.attached()) out.arbitrate_link(now);
+  }
+}
+
+void Router::switch_traversal(Cycle now) {
+  for (int i = 0; i < topo::kNumPorts; ++i) {
+    auto& in = inputs_[static_cast<std::size_t>(i)];
+    if (!in.attached() || in.popped_this_cycle()) continue;
+    std::vector<bool> requests(static_cast<std::size_t>(in.num_vcs()), false);
+    std::vector<int> priority(static_cast<std::size_t>(in.num_vcs()), 0);
+    for (VcId v = 0; v < in.num_vcs(); ++v) {
+      // Pre-scheduled traffic moves only on its reserved slots (bypass
+      // path); letting it use the dynamic path would reintroduce jitter.
+      if (params_.exclusive_scheduled_vc && v == params_.scheduled_vc) continue;
+      const VcBuffer& buf = in.vc(v);
+      if (buf.empty() || !buf.routed || buf.out_vc == kInvalidVc) continue;
+      if (!params_.speculative && buf.routed_at >= now) continue;
+      const auto& out = outputs_[static_cast<std::size_t>(buf.out_port)];
+      if (!out.attached()) continue;
+      if (!out.stage_empty(i)) continue;
+      if (!out.has_credit(buf.out_vc)) continue;
+      requests[static_cast<std::size_t>(v)] = true;
+      priority[static_cast<std::size_t>(v)] =
+          params_.priority_arbitration ? buf.front().priority : 0;
+    }
+    const int winner = switch_arbs_[static_cast<std::size_t>(i)].arbitrate(requests, priority);
+    if (winner < 0) continue;
+    VcBuffer& buf = in.vc(winner);
+    auto& out = outputs_[static_cast<std::size_t>(buf.out_port)];
+    const VcId out_vc = buf.out_vc;
+    const Port out_port = buf.out_port;
+    out.consume_credit(out_vc);
+    Flit f = take_flit(in, winner, out_port, out_vc);
+    out.stage_push(i, std::move(f));
+  }
+}
+
+std::int64_t Router::buffer_writes() const {
+  std::int64_t n = 0;
+  for (const auto& in : inputs_) n += in.buffer_writes();
+  return n;
+}
+
+std::int64_t Router::buffer_reads() const {
+  std::int64_t n = 0;
+  for (const auto& in : inputs_) n += in.buffer_reads();
+  return n;
+}
+
+std::int64_t Router::packets_dropped() const {
+  std::int64_t n = 0;
+  for (const auto& in : inputs_) n += in.packets_dropped();
+  return n;
+}
+
+}  // namespace ocn::router

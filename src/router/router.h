@@ -1,0 +1,73 @@
+// The virtual-channel router of paper section 2.3.
+//
+// Five input controllers (one per direction plus one from the tile) and
+// five output controllers, distributed around the tile edges. Each cycle:
+//
+//   1. credits returned from downstream are absorbed;
+//   2. arriving flits enter their per-VC input buffers;
+//   3. head flits at buffer fronts strip a route entry to pick an output;
+//   4. heads needing a downstream VC arbitrate for one — in parallel with
+//      switch arbitration (the paper's speculative overlap: route strip,
+//      VC allocation and forwarding all complete in one cycle);
+//   5. reserved slots move pre-scheduled flits straight from input buffer
+//      to link, skipping the stage and all arbitration (section 2.6);
+//   6. stage buffers filled on earlier cycles arbitrate for the link;
+//   7. each input forwards at most one winning flit across the switch into
+//      the output stage, consuming a credit and returning one upstream.
+//
+// A flit therefore spends one cycle in the router (input buffer -> stage)
+// and one on the link when uncontended; the pre-scheduled bypass path takes
+// a single cycle per hop.
+#pragma once
+
+#include <vector>
+
+#include "router/input_controller.h"
+#include "router/output_controller.h"
+#include "router/params.h"
+#include "sim/kernel.h"
+#include "topo/topology.h"
+
+namespace ocn::router {
+
+class Router final : public Clockable {
+ public:
+  Router(NodeId node, const topo::Topology& topology, const RouterParams& params);
+
+  NodeId node() const { return node_; }
+  const RouterParams& params() const { return params_; }
+
+  InputController& input(topo::Port p) { return inputs_[static_cast<std::size_t>(p)]; }
+  OutputController& output(topo::Port p) { return outputs_[static_cast<std::size_t>(p)]; }
+  const InputController& input(topo::Port p) const { return inputs_[static_cast<std::size_t>(p)]; }
+  const OutputController& output(topo::Port p) const { return outputs_[static_cast<std::size_t>(p)]; }
+
+  void step(Cycle now) override;
+
+  /// Dateline state the packet will have after leaving through out_port
+  /// (see DESIGN.md on deadlock freedom). Exposed for tests.
+  bool effective_dateline(const Flit& head, topo::Port in_port, topo::Port out_port) const;
+
+  // Aggregated statistics.
+  std::int64_t buffer_writes() const;
+  std::int64_t buffer_reads() const;
+  std::int64_t packets_dropped() const;
+
+ private:
+  void vc_allocation(Cycle now);
+  void reservation_bypass(Cycle now);
+  void link_arbitration(Cycle now);
+  void switch_traversal(Cycle now);
+  /// Prepare a flit popped from (in_port, vc) for transmission on out_vc.
+  Flit take_flit(InputController& in, VcId vc, topo::Port out_port, VcId out_vc);
+
+  NodeId node_;
+  const topo::Topology& topo_;
+  RouterParams params_;
+  std::vector<InputController> inputs_;
+  std::vector<OutputController> outputs_;
+  std::vector<PriorityArbiter> switch_arbs_;  // one per input, over VCs
+  int alloc_rotate_ = 0;
+};
+
+}  // namespace ocn::router

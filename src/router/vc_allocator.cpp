@@ -1,0 +1,54 @@
+#include "router/vc_allocator.h"
+
+#include <cassert>
+
+namespace ocn::router {
+
+bool VcAllocator::eligible(VcId vc, std::uint8_t mask, bool want_odd,
+                           bool ignore_parity) const {
+  const auto i = static_cast<std::size_t>(vc);
+  if (allocated_[i] || excluded_[i]) return false;
+  if ((mask & (1u << vc)) == 0) return false;
+  if (enforce_parity_ && !ignore_parity && (vc % 2 == 1) != want_odd) return false;
+  return true;
+}
+
+VcId VcAllocator::allocate(std::uint8_t mask, bool want_odd, bool ignore_parity) {
+  const int n = vcs();
+  for (int i = 0; i < n; ++i) {
+    const VcId vc = (rr_ + i) % n;
+    if (eligible(vc, mask, want_odd, ignore_parity)) {
+      allocated_[static_cast<std::size_t>(vc)] = true;
+      rr_ = (vc + 1) % n;
+      return vc;
+    }
+  }
+  return kInvalidVc;
+}
+
+bool VcAllocator::allocate_exact(VcId vc) {
+  const auto i = static_cast<std::size_t>(vc);
+  if (allocated_[i]) return false;
+  allocated_[i] = true;
+  return true;
+}
+
+void VcAllocator::release(VcId vc) {
+  const auto i = static_cast<std::size_t>(vc);
+  assert(allocated_[i] && "releasing a VC that was never allocated");
+  allocated_[i] = false;
+}
+
+int VcAllocator::free_count() const {
+  int n = 0;
+  for (std::size_t i = 0; i < allocated_.size(); ++i) {
+    if (!allocated_[i] && !excluded_[i]) ++n;
+  }
+  return n;
+}
+
+void VcAllocator::set_excluded(VcId vc, bool excluded) {
+  excluded_[static_cast<std::size_t>(vc)] = excluded;
+}
+
+}  // namespace ocn::router

@@ -1,0 +1,52 @@
+// Virtual-channel allocation state for one output controller.
+//
+// A packet's head flit must acquire a downstream virtual channel before its
+// flits may cross the link (virtual-channel flow control, Dally '92, cited
+// as [2][6] in the paper). The VC is held until the tail flit passes.
+//
+// The allocator honours the packet's 8-bit VC mask (class of service) and,
+// on wraparound topologies, the dateline parity discipline: classes are VC
+// pairs {2c, 2c+1}; a packet uses the even member before crossing its ring's
+// dateline and the odd member after (see DESIGN.md on deadlock freedom).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace ocn::router {
+
+class VcAllocator {
+ public:
+  VcAllocator(int vcs, bool enforce_parity)
+      : allocated_(vcs, false), excluded_(vcs, false), enforce_parity_(enforce_parity) {}
+
+  /// Grant a free VC allowed by `mask` with parity matching `want_odd`
+  /// (when parity is enforced and not suppressed via `ignore_parity`, e.g.
+  /// on the ejection port where the dateline discipline does not apply).
+  /// Rotates among eligible VCs for fairness. Returns kInvalidVc when none
+  /// is free.
+  VcId allocate(std::uint8_t mask, bool want_odd, bool ignore_parity = false);
+
+  /// Grant a specific VC (used by the scheduled-traffic path and by
+  /// same-VC allocation in dropping mode). Returns false if busy.
+  bool allocate_exact(VcId vc);
+
+  void release(VcId vc);
+  bool is_allocated(VcId vc) const { return allocated_[static_cast<std::size_t>(vc)]; }
+  int vcs() const { return static_cast<int>(allocated_.size()); }
+  int free_count() const;
+
+  /// Exclude a VC from dynamic allocation (reserved for scheduled traffic).
+  void set_excluded(VcId vc, bool excluded);
+
+ private:
+  bool eligible(VcId vc, std::uint8_t mask, bool want_odd, bool ignore_parity) const;
+  std::vector<bool> allocated_;
+  std::vector<bool> excluded_;
+  bool enforce_parity_;
+  int rr_ = 0;
+};
+
+}  // namespace ocn::router

@@ -1,0 +1,3 @@
+// VcBuffer is header-only; this translation unit exists to compile-check the
+// header in isolation.
+#include "router/vc_buffer.h"

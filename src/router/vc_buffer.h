@@ -1,0 +1,65 @@
+// Per-virtual-channel input buffer and routing state (paper Figure 3: each
+// input controller holds an input buffer and input state logic per VC).
+#pragma once
+
+#include <cassert>
+#include <deque>
+
+#include "router/flit.h"
+#include "sim/types.h"
+#include "topo/topology.h"
+
+namespace ocn::router {
+
+/// One VC's buffer plus the state the input controller keeps for the packet
+/// currently occupying it.
+class VcBuffer {
+ public:
+  explicit VcBuffer(int capacity) : capacity_(capacity) {}
+
+  bool empty() const { return q_.empty(); }
+  bool full() const { return static_cast<int>(q_.size()) >= capacity_; }
+  int size() const { return static_cast<int>(q_.size()); }
+  int capacity() const { return capacity_; }
+
+  void push(Flit f) {
+    assert(!full() && "credit protocol violated: buffer overflow");
+    q_.push_back(std::move(f));
+  }
+
+  const Flit& front() const { return q_.front(); }
+  Flit& front() { return q_.front(); }
+
+  Flit pop() {
+    Flit f = std::move(q_.front());
+    q_.pop_front();
+    return f;
+  }
+
+  // --- per-packet routing state -------------------------------------------
+  /// True once the head of the resident packet has been route-decoded.
+  bool routed = false;
+  /// Cycle the decode happened (non-speculative pipeline gating).
+  Cycle routed_at = -1;
+  /// Output port selected by the route field.
+  topo::Port out_port = topo::Port::kTile;
+  /// Downstream VC granted by the output controller; kInvalidVc until then.
+  VcId out_vc = kInvalidVc;
+  /// Set when the packet in this buffer is being dropped (dropping flow
+  /// control): remaining flits through the tail are discarded on arrival.
+  bool dropping = false;
+
+  void reset_packet_state() {
+    routed = false;
+    routed_at = -1;
+    out_port = topo::Port::kTile;
+    out_vc = kInvalidVc;
+    dropping = false;
+  }
+
+ private:
+  int capacity_;
+  std::deque<Flit> q_;
+};
+
+}  // namespace ocn::router

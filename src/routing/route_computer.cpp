@@ -1,0 +1,89 @@
+#include "routing/route_computer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+
+namespace ocn::routing {
+
+using topo::Port;
+
+void RouteComputer::append_ring_moves(std::vector<Port>& path, int dim,
+                                      int from_ring, int to_ring,
+                                      bool tie_positive) const {
+  const int k = topo_.radix();
+  if (from_ring == to_ring) return;
+  const Port pos = dim == 0 ? Port::kRowPos : Port::kColPos;
+  const Port neg = dim == 0 ? Port::kRowNeg : Port::kColNeg;
+  if (topo_.has_wraparound()) {
+    const int dist_pos = (to_ring - from_ring + k) % k;
+    const int dist_neg = (from_ring - to_ring + k) % k;
+    const bool go_pos =
+        dist_pos != dist_neg ? dist_pos < dist_neg : tie_positive;
+    const int hops = go_pos ? dist_pos : dist_neg;
+    for (int i = 0; i < hops; ++i) path.push_back(go_pos ? pos : neg);
+  } else {
+    const int hops = to_ring > from_ring ? to_ring - from_ring : from_ring - to_ring;
+    const Port dir = to_ring > from_ring ? pos : neg;
+    for (int i = 0; i < hops; ++i) path.push_back(dir);
+  }
+}
+
+std::vector<Port> RouteComputer::port_path(NodeId src, NodeId dst) const {
+  std::vector<Port> path;
+  if (src == dst) return path;
+  // Tie-break (ring distance exactly k/2): both members of an antipodal
+  // pair orbit the same rotational direction, and pairs alternate direction
+  // by the parity of their lower ring index. Every directed ring link then
+  // carries exactly one tied flow under antipodal patterns (tornado,
+  // bit-complement), using the full ring capacity.
+  auto tie_bit = [&](int dim) {
+    const int a = topo_.ring_index(src, dim);
+    const int b = topo_.ring_index(dst, dim);
+    return (std::min(a, b) % 2) == 0;
+  };
+  append_ring_moves(path, 0, topo_.ring_index(src, 0), topo_.ring_index(dst, 0),
+                    tie_bit(0));
+  append_ring_moves(path, 1, topo_.ring_index(src, 1), topo_.ring_index(dst, 1),
+                    tie_bit(1));
+  path.push_back(Port::kTile);
+  return path;
+}
+
+SourceRoute RouteComputer::compute(NodeId src, NodeId dst) const {
+  SourceRoute route;
+  const auto path = port_path(src, dst);
+  if (path.empty()) return route;
+  route.push(injection_code(path.front()));
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const auto turn = turn_between(path[i - 1], path[i]);
+    assert(turn.has_value() && "dimension-order path must be turn-encodable");
+    route.push(static_cast<std::uint8_t>(*turn));
+  }
+  return route;
+}
+
+std::vector<NodeId> RouteComputer::walk(NodeId src, SourceRoute route) const {
+  std::vector<NodeId> nodes{src};
+  if (route.empty()) return nodes;
+  Port heading = injection_port(route.pop());
+  NodeId node = src;
+  while (true) {
+    const auto link = topo_.neighbor(node, heading);
+    assert(link.has_value() && "route walks off the topology");
+    node = link->dst;
+    nodes.push_back(node);
+    if (route.empty()) break;  // malformed route without extract; stop
+    const auto code = static_cast<TurnCode>(route.pop());
+    if (code == TurnCode::kExtract) break;
+    heading = apply_turn(heading, code);
+  }
+  return nodes;
+}
+
+int RouteComputer::hop_count(NodeId src, NodeId dst) const {
+  const auto path = port_path(src, dst);
+  return path.empty() ? 0 : static_cast<int>(path.size()) - 1;
+}
+
+}  // namespace ocn::routing

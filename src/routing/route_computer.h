@@ -1,0 +1,49 @@
+// Destination-to-route translation (paper section 2.2: "Local logic can also
+// provide a translation from a destination node to a route").
+//
+// Routes are minimal and dimension-ordered (row first, then column), which
+// keeps the turn model to a single turn and — combined with the VC dateline
+// scheme — makes the torus deadlock-free. On rings, ties between the two
+// directions (distance exactly k/2) break by a deterministic hash of
+// (src, dst, dimension): globally the tied pairs split evenly between the
+// two directions (so patterns like bit-complement load both ring halves),
+// while any one (src, dst) pair always routes identically, preserving
+// in-order delivery per source and class.
+#pragma once
+
+#include <vector>
+
+#include "routing/source_route.h"
+#include "topo/topology.h"
+
+namespace ocn::routing {
+
+class RouteComputer {
+ public:
+  explicit RouteComputer(const topo::Topology& topology) : topo_(topology) {}
+
+  /// Output ports taken from src to dst, ending with kTile (the extract).
+  /// Empty for src == dst.
+  std::vector<topo::Port> port_path(NodeId src, NodeId dst) const;
+
+  /// Encoded source route: first entry uses the absolute injection code,
+  /// the rest relative turns, final entry extract.
+  SourceRoute compute(NodeId src, NodeId dst) const;
+
+  /// Decode a route by walking the topology; returns the nodes visited
+  /// (starting with src, ending with the extraction node). Used by tests
+  /// and by the deflection router's per-hop re-route.
+  std::vector<NodeId> walk(NodeId src, SourceRoute route) const;
+
+  /// Network hops (links traversed) for the computed route.
+  int hop_count(NodeId src, NodeId dst) const;
+
+  const topo::Topology& topology() const { return topo_; }
+
+ private:
+  void append_ring_moves(std::vector<topo::Port>& path, int dim, int from_ring,
+                         int to_ring, bool tie_positive) const;
+  const topo::Topology& topo_;
+};
+
+}  // namespace ocn::routing

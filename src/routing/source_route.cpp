@@ -1,0 +1,62 @@
+#include "routing/source_route.h"
+
+#include <cassert>
+
+namespace ocn::routing {
+
+using topo::Port;
+
+void SourceRoute::push(std::uint8_t code) {
+  assert(code < 4);
+  assert(length_ < kMaxEntries);
+  bits_ |= static_cast<std::uint64_t>(code) << (2 * length_);
+  ++length_;
+}
+
+std::uint8_t SourceRoute::pop() {
+  assert(!empty());
+  const auto code = static_cast<std::uint8_t>(bits_ & 0x3);
+  bits_ >>= 2;
+  --length_;
+  return code;
+}
+
+std::uint8_t SourceRoute::front() const {
+  assert(!empty());
+  return static_cast<std::uint8_t>(bits_ & 0x3);
+}
+
+Port apply_turn(Port heading, TurnCode turn) {
+  assert(heading != Port::kTile);
+  switch (turn) {
+    case TurnCode::kStraight:
+      return heading;
+    case TurnCode::kLeft:
+      return topo::is_row(heading) ? Port::kColPos : Port::kRowPos;
+    case TurnCode::kRight:
+      return topo::is_row(heading) ? Port::kColNeg : Port::kRowNeg;
+    case TurnCode::kExtract:
+      return Port::kTile;
+  }
+  return Port::kTile;
+}
+
+Port injection_port(std::uint8_t code) {
+  assert(code < 4);
+  return static_cast<Port>(code);
+}
+
+std::uint8_t injection_code(Port p) {
+  assert(p != Port::kTile);
+  return static_cast<std::uint8_t>(p);
+}
+
+std::optional<TurnCode> turn_between(Port heading, Port next) {
+  if (heading == Port::kTile) return std::nullopt;
+  if (next == Port::kTile) return TurnCode::kExtract;
+  if (next == heading) return TurnCode::kStraight;
+  if (topo::dim_of(next) == topo::dim_of(heading)) return std::nullopt;  // U-ish turn in dim
+  return topo::is_positive(next) ? TurnCode::kLeft : TurnCode::kRight;
+}
+
+}  // namespace ocn::routing

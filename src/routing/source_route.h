@@ -1,0 +1,75 @@
+// Source routes: the paper's 16-bit route field carrying two bits per hop
+// (section 2.1): "left, right, straight, or extract".
+//
+// Encoding conventions (made precise here, the paper leaves them implicit):
+//  * At a direction input controller the two bits are a turn relative to the
+//    packet's current heading: straight continues in the same ring
+//    direction; left turns to the +port of the other dimension; right to
+//    the -port; extract delivers to the tile.
+//  * At the tile input controller (the injection hop) there is no heading
+//    yet, so the two bits select the output direction absolutely
+//    (row+/row-/col+/col-). Self-delivery never enters the network: the NIC
+//    short-circuits it locally.
+//
+// The class stores up to 32 two-bit entries; `bits_required()` lets the
+// configuration check that routes fit the 16-bit field of the paper's
+// example network.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/types.h"
+#include "topo/topology.h"
+
+namespace ocn::routing {
+
+enum class TurnCode : std::uint8_t {
+  kStraight = 0,
+  kLeft = 1,
+  kRight = 2,
+  kExtract = 3,
+};
+
+class SourceRoute {
+ public:
+  static constexpr int kMaxEntries = 32;
+  /// The paper's route field width.
+  static constexpr int kPaperRouteBits = 16;
+
+  SourceRoute() = default;
+
+  /// Append a two-bit code (consumed FIFO).
+  void push(std::uint8_t code);
+  /// Consume the next two-bit code. Precondition: !empty().
+  std::uint8_t pop();
+  /// Peek without consuming.
+  std::uint8_t front() const;
+
+  bool empty() const { return length_ == 0; }
+  int size() const { return length_; }
+  int bits_required() const { return 2 * length_; }
+  bool fits_paper_field() const { return bits_required() <= kPaperRouteBits; }
+
+  /// Raw field as it would appear on the wire (low bits consumed first).
+  std::uint64_t raw() const { return bits_; }
+
+  friend bool operator==(const SourceRoute&, const SourceRoute&) = default;
+
+ private:
+  std::uint64_t bits_ = 0;
+  int length_ = 0;
+};
+
+/// Resolve a relative turn at a direction input controller.
+topo::Port apply_turn(topo::Port heading, TurnCode turn);
+
+/// Absolute direction selected by the injection (tile-input) code.
+topo::Port injection_port(std::uint8_t code);
+std::uint8_t injection_code(topo::Port p);
+
+/// Turn code that takes a packet heading `heading` out through `next`, if
+/// the transition is expressible (no U-turns).
+std::optional<TurnCode> turn_between(topo::Port heading, topo::Port next);
+
+}  // namespace ocn::routing

@@ -1,0 +1,52 @@
+#include "services/dma.h"
+
+namespace ocn::services {
+
+DmaEngine::DmaEngine(core::Network& net, NodeId node, int window)
+    : net_(net), node_(node), window_(window), client_(net, node) {
+  net_.kernel().add(this);
+}
+
+bool DmaEngine::start(NodeId server, std::uint64_t dst_addr,
+                      std::vector<std::uint64_t> data, Completion done) {
+  if (busy_ || data.empty()) return false;
+  busy_ = true;
+  server_ = server;
+  dst_addr_ = dst_addr;
+  data_ = std::move(data);
+  next_issue_ = 0;
+  outstanding_ = 0;
+  completed_ = 0;
+  started_ = net_.now();
+  done_ = std::move(done);
+  // Issue the first window synchronously so the transfer is visible to
+  // Network::drain() immediately.
+  issue(net_.now());
+  return true;
+}
+
+void DmaEngine::issue(Cycle now) {
+  while (busy_ && outstanding_ < window_ && next_issue_ < data_.size()) {
+    const std::size_t i = next_issue_;
+    const bool accepted = client_.write(
+        server_, dst_addr_ + i, data_[i], [this](Cycle) {
+          --outstanding_;
+          ++completed_;
+          ++words_done_;
+          if (completed_ == data_.size()) {
+            busy_ = false;
+            const Cycle elapsed = net_.now() - started_;
+            transfer_cycles_.add(static_cast<double>(elapsed));
+            if (done_) done_(elapsed);
+          }
+        });
+    if (!accepted) return;  // NIC backpressure; retry next cycle
+    ++outstanding_;
+    ++next_issue_;
+  }
+  (void)now;
+}
+
+void DmaEngine::step(Cycle now) { issue(now); }
+
+}  // namespace ocn::services

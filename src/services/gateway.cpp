@@ -1,0 +1,82 @@
+#include "services/gateway.h"
+
+namespace ocn::services {
+namespace {
+constexpr std::uint64_t kMagic = 0x4f434e47575930ull;  // "OCNGWY0"
+
+struct Envelope {
+  NodeId remote_dst;
+  int service_class;
+  std::uint64_t word;
+  int data_bits;
+};
+
+std::optional<Envelope> decode(const core::Packet& p) {
+  if (p.num_flits() != 1 || p.flit_payloads[0][0] != kMagic) return std::nullopt;
+  Envelope e;
+  e.remote_dst = static_cast<NodeId>(p.flit_payloads[0][1] & 0xffffffffu);
+  e.service_class = static_cast<int>((p.flit_payloads[0][1] >> 32) & 0xff);
+  e.data_bits = static_cast<int>((p.flit_payloads[0][1] >> 40) & 0xffff);
+  e.word = p.flit_payloads[0][2];
+  return e;
+}
+}  // namespace
+
+core::Packet make_remote_packet(NodeId gateway_tile, NodeId remote_dst,
+                                int service_class, std::uint64_t word, int data_bits) {
+  core::Packet p = core::make_packet(gateway_tile, service_class, 1);
+  p.flit_payloads[0][0] = kMagic;
+  p.flit_payloads[0][1] = static_cast<std::uint64_t>(static_cast<std::uint32_t>(remote_dst)) |
+                          (static_cast<std::uint64_t>(service_class & 0xff) << 32) |
+                          (static_cast<std::uint64_t>(data_bits & 0xffff) << 40);
+  p.flit_payloads[0][2] = word;
+  return p;
+}
+
+ChipGateway::ChipGateway(core::Network& chip_a, NodeId tile_a, core::Network& chip_b,
+                         NodeId tile_b, Cycle link_latency, int link_width_flits)
+    : link_latency_(link_latency), link_width_(link_width_flits) {
+  a_to_b_.from = &chip_a;
+  a_to_b_.to = &chip_b;
+  a_to_b_.from_tile = tile_a;
+  a_to_b_.to_tile = tile_b;
+  b_to_a_.from = &chip_b;
+  b_to_a_.to = &chip_a;
+  b_to_a_.from_tile = tile_b;
+  b_to_a_.to_tile = tile_a;
+  install(a_to_b_);
+  install(b_to_a_);
+  // Pumps run on the destination chip's kernel so arrival times use its
+  // clock (the chips are assumed synchronous).
+  chip_b.kernel().add(&pump_ab_);
+  chip_a.kernel().add(&pump_ba_);
+}
+
+void ChipGateway::install(Direction& dir) {
+  Direction* d = &dir;
+  const Cycle latency = link_latency_;
+  dir.from->nic(dir.from_tile).add_filter([d, latency](const core::Packet& p) {
+    const auto env = decode(p);
+    if (!env) return false;
+    core::Packet remote = core::make_packet(env->remote_dst, env->service_class, 1,
+                                            std::max(env->data_bits, 1));
+    remote.flit_payloads[0][0] = env->word;
+    d->queue.emplace_back(std::move(remote), d->from->now() + latency);
+    return true;
+  });
+}
+
+void ChipGateway::Pump::step(Cycle now) {
+  int sent = 0;
+  while (sent < gw_->link_width_ && !dir_->queue.empty() &&
+         dir_->queue.front().second <= now) {
+    // Pin-limited link: at most link_width flits enter the remote chip per
+    // cycle; NIC backpressure also holds the envelope on the link.
+    if (!dir_->to->nic(dir_->to_tile).inject(dir_->queue.front().first, now)) break;
+    dir_->queue.pop_front();
+    ++dir_->forwarded;
+    ++sent;
+  }
+}
+
+}  // namespace ocn::services

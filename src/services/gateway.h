@@ -1,0 +1,74 @@
+// Chip-to-chip gateway (paper section 1: network clients include "gateways
+// to networks on other chips"; the motivation draws on inter-chip networks
+// for system-level interconnect [7]).
+//
+// A ChipGateway pairs one tile on chip A with one tile on chip B. Local
+// clients tunnel datagrams to the remote chip by wrapping them in an
+// envelope addressed to the local gateway tile; the gateway unwraps,
+// carries them across the inter-chip link (a bandwidth-limited delay line,
+// standing in for the package/board channel), and re-injects them into the
+// remote network addressed to their final tile.
+//
+// Both networks must be stepped by the caller; the gateway registers a
+// pump on each kernel and is safe as long as the two chips advance at the
+// same rate (synchronous chip-to-chip interface).
+#pragma once
+
+#include <deque>
+
+#include "core/network.h"
+
+namespace ocn::services {
+
+/// Wrap a packet for tunnelling: the result is addressed to the local
+/// gateway tile; `remote_dst` is the destination tile on the other chip.
+core::Packet make_remote_packet(NodeId gateway_tile, NodeId remote_dst,
+                                int service_class, std::uint64_t word,
+                                int data_bits = 64);
+
+class ChipGateway {
+ public:
+  /// `link_latency` is the chip-crossing delay in cycles; `link_width_flits`
+  /// flits may enter the crossing per cycle in each direction (an inter-chip
+  /// link is pin-limited, section 3.1 — typically 1 or less).
+  ChipGateway(core::Network& chip_a, NodeId tile_a, core::Network& chip_b,
+              NodeId tile_b, Cycle link_latency = 8, int link_width_flits = 1);
+
+  std::int64_t forwarded_a_to_b() const { return a_to_b_.forwarded; }
+  std::int64_t forwarded_b_to_a() const { return b_to_a_.forwarded; }
+  /// Envelopes waiting for the inter-chip link (pin-limit backpressure).
+  int queued_a() const { return static_cast<int>(a_to_b_.queue.size()); }
+  int queued_b() const { return static_cast<int>(b_to_a_.queue.size()); }
+
+ private:
+  struct Direction {
+    core::Network* from = nullptr;
+    core::Network* to = nullptr;
+    NodeId from_tile = kInvalidNode;
+    NodeId to_tile = kInvalidNode;
+    std::deque<std::pair<core::Packet, Cycle>> queue;  ///< (packet, arrive_at)
+    std::int64_t forwarded = 0;
+  };
+
+  /// Registered on the sending chip's kernel: drains arrivals due this cycle.
+  class Pump final : public Clockable {
+   public:
+    Pump(ChipGateway* gw, Direction* dir) : gw_(gw), dir_(dir) {}
+    void step(Cycle now) override;
+
+   private:
+    ChipGateway* gw_;
+    Direction* dir_;
+  };
+
+  void install(Direction& dir);
+
+  Cycle link_latency_;
+  int link_width_;
+  Direction a_to_b_;
+  Direction b_to_a_;
+  Pump pump_ab_{this, &a_to_b_};
+  Pump pump_ba_{this, &b_to_a_};
+};
+
+}  // namespace ocn::services

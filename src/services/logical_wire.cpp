@@ -1,0 +1,36 @@
+#include "services/logical_wire.h"
+
+namespace ocn::services {
+
+LogicalWire::LogicalWire(core::Network& net, NodeId src, NodeId dst, int bundle_id,
+                         int service_class)
+    : net_(net), src_(src), dst_(dst), bundle_id_(bundle_id), service_class_(service_class) {
+  net_.nic(dst).add_filter([this](const core::Packet& p) {
+    if (p.src != src_ || p.last_flit_bits != 16) return false;
+    const std::uint64_t word = p.flit_payloads[0][0];
+    if (static_cast<int>((word >> 8) & 0xff) != bundle_id_) return false;
+    output_ = static_cast<std::uint8_t>(word & 0xff);
+    last_update_ = p.delivered;
+    ++updates_received_;
+    latency_.add(static_cast<double>(p.latency()));
+    return true;
+  });
+  net_.kernel().add(this);
+}
+
+void LogicalWire::step(Cycle now) {
+  if (sent_anything_ && input_ == last_sent_) return;
+  // A change: inject a single-flit packet with data size 16 — 8 state bits
+  // plus 8 bits identifying the bundle.
+  core::Packet p = core::make_packet(dst_, service_class_, /*num_flits=*/1,
+                                     /*last_flit_bits=*/16);
+  p.flit_payloads[0][0] = static_cast<std::uint64_t>(input_) |
+                          (static_cast<std::uint64_t>(bundle_id_ & 0xff) << 8);
+  if (net_.nic(src_).inject(std::move(p), now)) {
+    last_sent_ = input_;
+    sent_anything_ = true;
+    ++updates_sent_;
+  }
+}
+
+}  // namespace ocn::services

@@ -1,0 +1,62 @@
+// Logical wires (the worked layering example of paper section 2.2).
+//
+// "Suppose tile i has a bundle of N=8 wires that should be logically
+// connected to tile j. The local logic monitors these wires for changes in
+// their state. Whenever the state changes, the logic arbitrates for access
+// to the network input port, possibly interrupting a lower priority packet
+// injection, and injects a single flit packet with data size 16, an
+// appropriate virtual channel mask, and destination of tile j. Eight of the
+// 16 data bits hold the state of the lines while the remaining data bits
+// identify this flit as containing logical wires."
+#pragma once
+
+#include <cstdint>
+
+#include "core/network.h"
+#include "sim/stats.h"
+
+namespace ocn::services {
+
+class LogicalWire final : public Clockable {
+ public:
+  static constexpr int kWires = 8;
+
+  /// Connects a bundle from src to dst. bundle_id distinguishes several
+  /// bundles between the same pair; service_class defaults to a high
+  /// priority class so wire updates overtake bulk traffic.
+  LogicalWire(core::Network& net, NodeId src, NodeId dst, int bundle_id,
+              int service_class = 2);
+
+  /// Driver side: the client sets the wire states at tile src.
+  void drive(std::uint8_t value) { input_ = value; }
+
+  /// Receiver side: the reconstructed wire states at tile dst.
+  std::uint8_t output() const { return output_; }
+  Cycle last_update() const { return last_update_; }
+
+  void step(Cycle now) override;
+
+  std::int64_t updates_sent() const { return updates_sent_; }
+  std::int64_t updates_received() const { return updates_received_; }
+  /// Change-to-output latency in cycles.
+  const Accumulator& update_latency() const { return latency_; }
+
+ private:
+  core::Network& net_;
+  NodeId src_;
+  NodeId dst_;
+  int bundle_id_;
+  int service_class_;
+
+  std::uint8_t input_ = 0;
+  std::uint8_t last_sent_ = 0;
+  bool sent_anything_ = false;
+  std::uint8_t output_ = 0;
+  Cycle last_update_ = -1;
+
+  std::int64_t updates_sent_ = 0;
+  std::int64_t updates_received_ = 0;
+  Accumulator latency_;
+};
+
+}  // namespace ocn::services

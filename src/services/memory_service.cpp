@@ -1,0 +1,94 @@
+#include "services/memory_service.h"
+
+namespace ocn::services {
+namespace {
+// "OCNMEM01" request / "OCNMEM02" response magic words.
+constexpr std::uint64_t kReqMagic = 0x4f434e4d454d3031ull;
+constexpr std::uint64_t kRspMagic = 0x4f434e4d454d3032ull;
+constexpr std::uint64_t kOpRead = 0;
+constexpr std::uint64_t kOpWrite = 1;
+
+core::Packet make_request(NodeId server, std::uint64_t op, std::uint32_t req_id,
+                          std::uint64_t addr, std::uint64_t value) {
+  core::Packet p = core::make_packet(server, kMemoryRequestClass, 1);
+  p.flit_payloads[0][0] = kReqMagic;
+  p.flit_payloads[0][1] = (op << 32) | req_id;
+  p.flit_payloads[0][2] = addr;
+  p.flit_payloads[0][3] = value;
+  return p;
+}
+}  // namespace
+
+MemoryServer::MemoryServer(core::Network& net, NodeId node, std::size_t words)
+    : net_(net), node_(node), memory_(words, 0) {
+  net_.nic(node).add_filter([this](const core::Packet& p) {
+    if (p.num_flits() != 1 || p.flit_payloads[0][0] != kReqMagic) return false;
+    const std::uint64_t op = p.flit_payloads[0][1] >> 32;
+    const auto req_id = static_cast<std::uint32_t>(p.flit_payloads[0][1]);
+    const std::uint64_t addr = p.flit_payloads[0][2];
+    std::uint64_t value = p.flit_payloads[0][3];
+    if (addr >= memory_.size()) value = ~std::uint64_t{0};  // bus-error style
+    if (op == kOpWrite) {
+      if (addr < memory_.size()) memory_[addr] = value;
+      ++writes_;
+    } else {
+      if (addr < memory_.size()) value = memory_[addr];
+      ++reads_;
+    }
+    core::Packet rsp = core::make_packet(p.src, kMemoryResponseClass, 1);
+    rsp.flit_payloads[0][0] = kRspMagic;
+    rsp.flit_payloads[0][1] = (op << 32) | req_id;
+    rsp.flit_payloads[0][2] = addr;
+    rsp.flit_payloads[0][3] = value;
+    net_.nic(node_).inject(std::move(rsp), net_.now());
+    return true;
+  });
+}
+
+MemoryClient::MemoryClient(core::Network& net, NodeId node) : net_(net), node_(node) {
+  net_.nic(node).add_filter([this](const core::Packet& p) {
+    if (p.num_flits() != 1 || p.flit_payloads[0][0] != kRspMagic) return false;
+    const std::uint64_t op = p.flit_payloads[0][1] >> 32;
+    const auto req_id = static_cast<std::uint32_t>(p.flit_payloads[0][1]);
+    const Cycle now = net_.now();
+    if (op == kOpRead) {
+      auto it = pending_reads_.find(req_id);
+      if (it == pending_reads_.end()) return false;
+      const Cycle latency = now - it->second.second;
+      read_latency_.add(static_cast<double>(latency));
+      auto cb = std::move(it->second.first);
+      pending_reads_.erase(it);
+      if (cb) cb(p.flit_payloads[0][3], latency);
+    } else {
+      auto it = pending_writes_.find(req_id);
+      if (it == pending_writes_.end()) return false;
+      const Cycle latency = now - it->second.second;
+      write_latency_.add(static_cast<double>(latency));
+      auto cb = std::move(it->second.first);
+      pending_writes_.erase(it);
+      if (cb) cb(latency);
+    }
+    return true;
+  });
+}
+
+bool MemoryClient::read(NodeId server, std::uint64_t addr, ReadCallback done) {
+  const std::uint32_t id = next_req_++;
+  if (!net_.nic(node_).inject(make_request(server, kOpRead, id, addr, 0), net_.now())) {
+    return false;
+  }
+  pending_reads_.emplace(id, std::make_pair(std::move(done), net_.now()));
+  return true;
+}
+
+bool MemoryClient::write(NodeId server, std::uint64_t addr, std::uint64_t value,
+                         WriteCallback done) {
+  const std::uint32_t id = next_req_++;
+  if (!net_.nic(node_).inject(make_request(server, kOpWrite, id, addr, value), net_.now())) {
+    return false;
+  }
+  pending_writes_.emplace(id, std::make_pair(std::move(done), net_.now()));
+  return true;
+}
+
+}  // namespace ocn::services

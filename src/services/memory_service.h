@@ -1,0 +1,69 @@
+// Memory read/write service (paper section 2.2: "this local logic could
+// present a memory read/write service").
+//
+// A MemoryServer owns a word-addressed memory at one tile and answers
+// request datagrams; a MemoryClient issues reads and writes and completes
+// them via callbacks. Requests and responses travel on different service
+// classes (different VC pairs) so a full response path can never block
+// requests — the standard protocol-deadlock precaution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/network.h"
+#include "sim/stats.h"
+
+namespace ocn::services {
+
+inline constexpr int kMemoryRequestClass = 0;
+inline constexpr int kMemoryResponseClass = 1;
+
+class MemoryServer {
+ public:
+  MemoryServer(core::Network& net, NodeId node, std::size_t words);
+
+  NodeId node() const { return node_; }
+  std::uint64_t peek(std::uint64_t addr) const { return memory_.at(addr); }
+  void poke(std::uint64_t addr, std::uint64_t value) { memory_.at(addr) = value; }
+
+  std::int64_t reads_served() const { return reads_; }
+  std::int64_t writes_served() const { return writes_; }
+
+ private:
+  core::Network& net_;
+  NodeId node_;
+  std::vector<std::uint64_t> memory_;
+  std::int64_t reads_ = 0;
+  std::int64_t writes_ = 0;
+};
+
+class MemoryClient {
+ public:
+  using ReadCallback = std::function<void(std::uint64_t value, Cycle latency)>;
+  using WriteCallback = std::function<void(Cycle latency)>;
+
+  MemoryClient(core::Network& net, NodeId node);
+
+  /// Issue a read of `addr` at `server`. Returns false if the NIC queue
+  /// rejected the request.
+  bool read(NodeId server, std::uint64_t addr, ReadCallback done);
+  bool write(NodeId server, std::uint64_t addr, std::uint64_t value, WriteCallback done);
+
+  int outstanding() const { return static_cast<int>(pending_reads_.size() + pending_writes_.size()); }
+  const Accumulator& read_latency() const { return read_latency_; }
+  const Accumulator& write_latency() const { return write_latency_; }
+
+ private:
+  core::Network& net_;
+  NodeId node_;
+  std::uint32_t next_req_ = 1;
+  std::unordered_map<std::uint32_t, std::pair<ReadCallback, Cycle>> pending_reads_;
+  std::unordered_map<std::uint32_t, std::pair<WriteCallback, Cycle>> pending_writes_;
+  Accumulator read_latency_;
+  Accumulator write_latency_;
+};
+
+}  // namespace ocn::services

@@ -1,0 +1,54 @@
+#include "services/message.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace ocn::services {
+namespace {
+constexpr int kFlitBytes = router::kDataBits / 8;  // 32
+constexpr int kHeaderBytes = 8;
+}  // namespace
+
+int message_capacity_bytes(int num_flits) {
+  return num_flits * kFlitBytes - kHeaderBytes;
+}
+
+core::Packet pack_message(NodeId dst, int service_class, const Message& m) {
+  const int total_bytes = kHeaderBytes + static_cast<int>(m.bytes.size());
+  const int flits = (total_bytes + kFlitBytes - 1) / kFlitBytes;
+  const int last_bytes = total_bytes - (flits - 1) * kFlitBytes;
+  core::Packet p = core::make_packet(dst, service_class, flits,
+                                     /*last_flit_bits=*/last_bytes * 8);
+  p.flit_payloads[0][0] = (static_cast<std::uint64_t>(m.tag) << 32) |
+                          static_cast<std::uint32_t>(m.bytes.size());
+  // Pack bytes after the header, little-endian within each 64-bit word.
+  for (std::size_t i = 0; i < m.bytes.size(); ++i) {
+    const std::size_t off = kHeaderBytes + i;
+    const std::size_t flit = off / kFlitBytes;
+    const std::size_t word = (off % kFlitBytes) / 8;
+    const std::size_t shift = (off % 8) * 8;
+    p.flit_payloads[flit][word] |= static_cast<std::uint64_t>(m.bytes[i]) << shift;
+  }
+  return p;
+}
+
+std::optional<Message> unpack_message(const core::Packet& p) {
+  if (p.flit_payloads.empty()) return std::nullopt;
+  Message m;
+  const std::uint64_t header = p.flit_payloads[0][0];
+  m.tag = static_cast<std::uint32_t>(header >> 32);
+  const auto length = static_cast<std::uint32_t>(header & 0xffffffffu);
+  const int capacity = p.num_flits() * kFlitBytes - kHeaderBytes;
+  if (static_cast<int>(length) > capacity) return std::nullopt;
+  m.bytes.resize(length);
+  for (std::size_t i = 0; i < m.bytes.size(); ++i) {
+    const std::size_t off = kHeaderBytes + i;
+    const std::size_t flit = off / kFlitBytes;
+    const std::size_t word = (off % kFlitBytes) / 8;
+    const std::size_t shift = (off % 8) * 8;
+    m.bytes[i] = static_cast<std::uint8_t>(p.flit_payloads[flit][word] >> shift);
+  }
+  return m;
+}
+
+}  // namespace ocn::services

@@ -1,0 +1,30 @@
+// Byte-buffer messaging on top of the datagram interface: the basic helper
+// higher-level services use to serialize structures into 256-bit flits.
+// Layout: the first 8 bytes of the first flit hold a 32-bit tag and the
+// 32-bit byte length; payload bytes follow, 32 per flit thereafter.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/interface.h"
+
+namespace ocn::services {
+
+struct Message {
+  std::uint32_t tag = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Serialize a message into a packet for `dst` on `service_class`.
+core::Packet pack_message(NodeId dst, int service_class, const Message& m);
+
+/// Recover a message; nullopt if the packet is too short to carry a header
+/// or its length field is inconsistent with its flit count.
+std::optional<Message> unpack_message(const core::Packet& p);
+
+/// Bytes of payload capacity for a message of the given flit count.
+int message_capacity_bytes(int num_flits);
+
+}  // namespace ocn::services

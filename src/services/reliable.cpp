@@ -1,0 +1,102 @@
+#include "services/reliable.h"
+
+namespace ocn::services {
+namespace {
+constexpr std::uint64_t kDataMagic = 0x4f434e52454c3031ull;  // "OCNREL01"
+constexpr std::uint64_t kAckMagic = 0x4f434e52454c3032ull;   // "OCNREL02"
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t length) {
+  std::uint32_t crc = 0xffffffffu;
+  for (std::size_t i = 0; i < length; ++i) {
+    crc ^= data[i];
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc >> 1) ^ (0xedb88320u & (~(crc & 1u) + 1u));
+    }
+  }
+  return ~crc;
+}
+
+std::uint32_t crc32_words(const std::uint64_t* words, std::size_t count) {
+  std::uint8_t bytes[64];
+  std::size_t n = 0;
+  for (std::size_t w = 0; w < count && n + 8 <= sizeof bytes; ++w) {
+    for (int i = 0; i < 8; ++i) bytes[n++] = static_cast<std::uint8_t>(words[w] >> (8 * i));
+  }
+  return crc32(bytes, n);
+}
+
+ReliableChannel::ReliableChannel(core::Network& net, NodeId src, NodeId dst,
+                                 Cycle retry_timeout, int service_class)
+    : net_(net), src_(src), dst_(dst), timeout_(retry_timeout), service_class_(service_class) {
+  // Receiver: verify CRC, deliver in order, acknowledge cumulatively.
+  net_.nic(dst).add_filter([this](const core::Packet& p) {
+    if (p.num_flits() != 1 || p.flit_payloads[0][0] != kDataMagic || p.src != src_) {
+      return false;
+    }
+    const std::uint64_t seq_word = p.flit_payloads[0][1];
+    const std::uint64_t data_word = p.flit_payloads[0][2];
+    const auto carried_crc = static_cast<std::uint32_t>(p.flit_payloads[0][3]);
+    const std::uint64_t covered[2] = {seq_word, data_word};
+    if (crc32_words(covered, 2) != carried_crc) {
+      ++crc_rejects_;
+      return true;  // corrupted: drop silently, the sender will retry
+    }
+    const auto seq = static_cast<std::uint32_t>(seq_word);
+    if (seq != rx_expected_) {
+      ++duplicates_;  // stale retransmission or out-of-window
+    } else {
+      ++rx_expected_;
+      received_.push_back(data_word);
+      if (handler_) handler_(data_word);
+    }
+    // Cumulative ack of everything below rx_expected_.
+    core::Packet ack = core::make_packet(src_, service_class_, 1);
+    ack.flit_payloads[0][0] = kAckMagic;
+    ack.flit_payloads[0][1] = rx_expected_;
+    net_.nic(dst_).inject(std::move(ack), net_.now());
+    return true;
+  });
+  // Sender: absorb acks.
+  net_.nic(src).add_filter([this](const core::Packet& p) {
+    if (p.num_flits() != 1 || p.flit_payloads[0][0] != kAckMagic || p.src != dst_) {
+      return false;
+    }
+    const auto acked_below = static_cast<std::uint32_t>(p.flit_payloads[0][1]);
+    while (!pending_.empty() && pending_.front().seq < acked_below) {
+      pending_.pop_front();
+    }
+    return true;
+  });
+  net_.kernel().add(this);
+}
+
+void ReliableChannel::send(std::uint64_t word) { tx_queue_.push_back(word); }
+
+void ReliableChannel::transmit(const Pending& p, Cycle now) {
+  core::Packet pkt = core::make_packet(dst_, service_class_, 1);
+  pkt.flit_payloads[0][0] = kDataMagic;
+  pkt.flit_payloads[0][1] = p.seq;
+  pkt.flit_payloads[0][2] = p.word;
+  const std::uint64_t covered[2] = {p.seq, p.word};
+  pkt.flit_payloads[0][3] = crc32_words(covered, 2);
+  net_.nic(src_).inject(std::move(pkt), now);
+}
+
+void ReliableChannel::step(Cycle now) {
+  // New transmissions within the window.
+  while (!tx_queue_.empty() && static_cast<int>(pending_.size()) < window_) {
+    Pending p{tx_queue_.front(), tx_seq_++, now};
+    tx_queue_.pop_front();
+    transmit(p, now);
+    pending_.push_back(p);
+  }
+  // Timeout-driven retransmission (go-back style: resend the oldest).
+  if (!pending_.empty() && now - pending_.front().sent_at >= timeout_) {
+    pending_.front().sent_at = now;
+    transmit(pending_.front(), now);
+    ++retransmissions_;
+  }
+}
+
+}  // namespace ocn::services

@@ -1,0 +1,80 @@
+#include "services/stream.h"
+
+#include "services/message.h"
+
+namespace ocn::services {
+namespace {
+constexpr std::uint32_t kDataTagBase = 0x53545200;    // "STR\0" | seq low byte unused
+constexpr std::uint32_t kCreditTag = 0x53545243;      // "STRC"
+}  // namespace
+
+Stream::Stream(core::Network& net, NodeId src, NodeId dst, int window, int data_class,
+               int credit_class)
+    : net_(net),
+      src_(src),
+      dst_(dst),
+      window_(window),
+      data_class_(data_class),
+      credit_class_(credit_class) {
+  // Sink side: consume data packets, return credits.
+  net_.nic(dst).add_filter([this](const core::Packet& p) {
+    const auto m = unpack_message(p);
+    if (!m || p.src != src_ || (m->tag & 0xffffff00u) != kDataTagBase) return false;
+    ++packets_received_;
+    // First payload word after the header carries the sequence number.
+    if (m->bytes.size() < 4) return true;
+    std::uint32_t seq = 0;
+    for (int i = 0; i < 4; ++i) seq |= static_cast<std::uint32_t>(m->bytes[i]) << (8 * i);
+    if (seq != rx_seq_) ++sequence_errors_;
+    rx_seq_ = seq + 1;
+    std::vector<std::uint8_t> chunk(m->bytes.begin() + 4, m->bytes.end());
+    bytes_delivered_ += static_cast<std::int64_t>(chunk.size());
+    if (sink_) {
+      sink_(chunk);
+    } else {
+      sink_buffer_.insert(sink_buffer_.end(), chunk.begin(), chunk.end());
+    }
+    Message credit;
+    credit.tag = kCreditTag;
+    net_.nic(dst_).inject(pack_message(src_, credit_class_, credit), net_.now());
+    return true;
+  });
+  // Source side: absorb returned credits.
+  net_.nic(src).add_filter([this](const core::Packet& p) {
+    const auto m = unpack_message(p);
+    if (!m || p.src != dst_ || m->tag != kCreditTag) return false;
+    --in_flight_;
+    return true;
+  });
+  net_.kernel().add(this);
+}
+
+void Stream::push(const std::vector<std::uint8_t>& bytes) {
+  tx_queue_.insert(tx_queue_.end(), bytes.begin(), bytes.end());
+}
+
+void Stream::step(Cycle now) {
+  while (!tx_queue_.empty() && in_flight_ < window_) {
+    const int take = std::min<int>(kChunkBytes - 4, static_cast<int>(tx_queue_.size()));
+    Message m;
+    m.tag = kDataTagBase;
+    m.bytes.reserve(static_cast<std::size_t>(take) + 4);
+    for (int i = 0; i < 4; ++i) {
+      m.bytes.push_back(static_cast<std::uint8_t>(tx_seq_ >> (8 * i)));
+    }
+    for (int i = 0; i < take; ++i) {
+      m.bytes.push_back(tx_queue_.front());
+      tx_queue_.pop_front();
+    }
+    if (!net_.nic(src_).inject(pack_message(dst_, data_class_, m), now)) {
+      // NIC backpressure; put the chunk back and retry next cycle.
+      for (int i = take - 1; i >= 0; --i) tx_queue_.push_front(m.bytes[static_cast<std::size_t>(4 + i)]);
+      return;
+    }
+    ++tx_seq_;
+    ++in_flight_;
+    ++packets_sent_;
+  }
+}
+
+}  // namespace ocn::services

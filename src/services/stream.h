@@ -1,0 +1,67 @@
+// Flow-controlled data stream (paper section 2.2: "a flow-controlled data
+// stream").
+//
+// A credit-windowed, in-order byte stream from a source tile to a sink
+// tile. The source may hold at most `window` packets in flight; the sink
+// returns one stream credit per consumed packet on a different service
+// class. Ordering relies on the network's per-(source, class) in-order
+// delivery (same VC queue, same deterministic route, wormhole integrity);
+// sequence numbers are carried and checked anyway.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "core/network.h"
+#include "sim/stats.h"
+
+namespace ocn::services {
+
+class Stream final : public Clockable {
+ public:
+  using SinkHandler = std::function<void(const std::vector<std::uint8_t>&)>;
+
+  Stream(core::Network& net, NodeId src, NodeId dst, int window,
+         int data_class = 0, int credit_class = 1);
+
+  /// Queue bytes at the source. Chunked into packets internally.
+  void push(const std::vector<std::uint8_t>& bytes);
+
+  /// Sink-side consumer; if unset, bytes accumulate in sink_buffer().
+  void set_sink(SinkHandler handler) { sink_ = std::move(handler); }
+  const std::vector<std::uint8_t>& sink_buffer() const { return sink_buffer_; }
+
+  void step(Cycle now) override;
+
+  std::int64_t packets_sent() const { return packets_sent_; }
+  std::int64_t packets_received() const { return packets_received_; }
+  std::int64_t sequence_errors() const { return sequence_errors_; }
+  int in_flight() const { return in_flight_; }
+  std::int64_t bytes_delivered() const { return bytes_delivered_; }
+
+ private:
+  static constexpr int kChunkBytes = 24;  // one flit minus the message header
+
+  core::Network& net_;
+  NodeId src_;
+  NodeId dst_;
+  int window_;
+  int data_class_;
+  int credit_class_;
+
+  std::deque<std::uint8_t> tx_queue_;
+  int in_flight_ = 0;
+  std::uint32_t tx_seq_ = 0;
+  std::uint32_t rx_seq_ = 0;
+
+  SinkHandler sink_;
+  std::vector<std::uint8_t> sink_buffer_;
+
+  std::int64_t packets_sent_ = 0;
+  std::int64_t packets_received_ = 0;
+  std::int64_t sequence_errors_ = 0;
+  std::int64_t bytes_delivered_ = 0;
+};
+
+}  // namespace ocn::services

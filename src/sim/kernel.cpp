@@ -1,0 +1,15 @@
+#include "sim/kernel.h"
+
+namespace ocn {
+
+void Kernel::tick() {
+  for (Clockable* c : components_) c->step(now_);
+  for (ChannelBase* ch : channels_) ch->advance();
+  ++now_;
+}
+
+void Kernel::run(Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) tick();
+}
+
+}  // namespace ocn

@@ -1,0 +1,117 @@
+// Two-phase synchronous cycle kernel.
+//
+// Components (Clockable) communicate exclusively through Channel<T> delay
+// lines. Within a cycle every component reads channel outputs (the values
+// that arrived this cycle) and writes channel inputs (values that will
+// arrive `latency` cycles later); the kernel then advances all channels at
+// once. Because no component ever observes another component's same-cycle
+// writes, evaluation order is irrelevant and simulations are deterministic.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace ocn {
+
+/// Anything that does work once per clock cycle.
+class Clockable {
+ public:
+  virtual ~Clockable() = default;
+  /// Called once per cycle, after channel outputs for `now` are visible.
+  virtual void step(Cycle now) = 0;
+};
+
+/// Type-erased channel interface so the kernel can advance heterogeneous
+/// channels uniformly.
+class ChannelBase {
+ public:
+  virtual ~ChannelBase() = default;
+  virtual void advance() = 0;
+};
+
+/// Unidirectional delay line carrying at most one value per cycle.
+///
+/// send(v) during cycle t makes v visible via receive() during cycle
+/// t + latency. Sending twice in one cycle is a modelling error (asserted).
+template <typename T>
+class Channel final : public ChannelBase {
+ public:
+  explicit Channel(int latency = 1, std::string name = {})
+      : name_(std::move(name)), pipe_(latency > 0 ? latency - 1 : 0) {
+    assert(latency >= 1 && "channels are registered; latency must be >= 1");
+  }
+
+  /// The value arriving this cycle, if any. May be called repeatedly.
+  const std::optional<T>& receive() const { return out_; }
+
+  /// Consume the arriving value (clears it so a second reader sees nothing).
+  std::optional<T> take() {
+    std::optional<T> v = std::move(out_);
+    out_.reset();
+    return v;
+  }
+
+  void send(T v) {
+    assert(!pending_.has_value() && "one value per channel per cycle");
+    pending_ = std::move(v);
+    ++sends_;
+  }
+
+  bool send_pending() const { return pending_.has_value(); }
+
+  void advance() override {
+    if (pipe_.empty()) {
+      out_ = std::move(pending_);
+    } else {
+      out_ = std::move(pipe_.front());
+      pipe_.pop_front();
+      pipe_.push_back(std::move(pending_));
+    }
+    pending_.reset();
+  }
+
+  int latency() const { return static_cast<int>(pipe_.size()) + 1; }
+  std::int64_t sends() const { return sends_; }
+  const std::string& name() const { return name_; }
+
+  /// Physical length of the wires this channel models, in mm. Used for
+  /// wire-energy and duty-factor accounting. Zero for purely logical links.
+  double length_mm = 0.0;
+
+ private:
+  std::string name_;
+  std::deque<std::optional<T>> pipe_;  // latency-1 in-flight slots
+  std::optional<T> pending_;           // written this cycle
+  std::optional<T> out_;               // visible this cycle
+  std::int64_t sends_ = 0;
+};
+
+/// Owns nothing; sequences registered components and channels. The caller
+/// (typically core::Network) owns the objects and guarantees they outlive
+/// the kernel.
+class Kernel {
+ public:
+  void add(Clockable* c) { components_.push_back(c); }
+  void add(ChannelBase* ch) { channels_.push_back(ch); }
+
+  /// Run `cycles` cycles from the current time.
+  void run(Cycle cycles);
+
+  /// Advance exactly one cycle.
+  void tick();
+
+  Cycle now() const { return now_; }
+
+ private:
+  std::vector<Clockable*> components_;
+  std::vector<ChannelBase*> channels_;
+  Cycle now_ = 0;
+};
+
+}  // namespace ocn

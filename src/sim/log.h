@@ -1,0 +1,32 @@
+// Minimal leveled logger. Off by default so simulations stay fast; tests and
+// debugging sessions can raise the level per-scope.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace ocn {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+/// Process-wide log threshold. Messages above the threshold are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// printf-style logging; thread-unsafe by design (the simulator is
+/// single-threaded).
+void log_message(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+#define OCN_LOG(level, ...)                                  \
+  do {                                                       \
+    if (static_cast<int>(level) <= static_cast<int>(::ocn::log_level())) \
+      ::ocn::log_message(level, __VA_ARGS__);                \
+  } while (0)
+
+#define OCN_ERROR(...) OCN_LOG(::ocn::LogLevel::kError, __VA_ARGS__)
+#define OCN_WARN(...) OCN_LOG(::ocn::LogLevel::kWarn, __VA_ARGS__)
+#define OCN_INFO(...) OCN_LOG(::ocn::LogLevel::kInfo, __VA_ARGS__)
+#define OCN_DEBUG(...) OCN_LOG(::ocn::LogLevel::kDebug, __VA_ARGS__)
+#define OCN_TRACE(...) OCN_LOG(::ocn::LogLevel::kTrace, __VA_ARGS__)
+
+}  // namespace ocn

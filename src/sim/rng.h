@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the simulator owns an Rng seeded from a
+// single master seed plus a component-specific stream id, so simulations are
+// reproducible regardless of component evaluation order.
+#pragma once
+
+#include <cstdint>
+
+namespace ocn {
+
+/// xoshiro256** by Blackman & Vigna; seeded via SplitMix64. Small, fast,
+/// and high quality; not cryptographic.
+class Rng {
+ public:
+  Rng() : Rng(0x9e3779b97f4a7c15ull, 0) {}
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Geometric inter-arrival helper: exponential with the given mean.
+  double exponential(double mean);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Derives a child seed for a named sub-stream; used to hand independent
+/// streams to sub-components (e.g. one per traffic source).
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t stream);
+
+}  // namespace ocn

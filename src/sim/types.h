@@ -1,0 +1,24 @@
+// Fundamental scalar types shared across the library.
+#pragma once
+
+#include <cstdint>
+
+namespace ocn {
+
+/// Simulation time in router clock cycles.
+using Cycle = std::int64_t;
+
+/// Identifies a network node (tile). Nodes are numbered row-major by tile
+/// position: node = y * k + x for a k x k layout.
+using NodeId = std::int32_t;
+
+/// Identifies a virtual channel within a physical channel, 0..vcs-1.
+using VcId = std::int32_t;
+
+/// Globally unique packet identifier, assigned at injection.
+using PacketId = std::int64_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr VcId kInvalidVc = -1;
+
+}  // namespace ocn

@@ -1,0 +1,45 @@
+#include "topo/folded_torus.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ocn::topo {
+
+FoldedTorus::FoldedTorus(int radix, double tile_mm) : Topology(radix, tile_mm) {
+  assert(radix >= 2);
+  // Interleaved fold: ascend the evens, descend the odds.
+  for (int p = 0; p < radix; p += 2) perm_.push_back(p);
+  const int top_odd = (radix % 2 == 0) ? radix - 1 : radix - 2;
+  for (int p = top_odd; p >= 1; p -= 2) perm_.push_back(p);
+  inv_perm_.assign(radix, 0);
+  for (int i = 0; i < radix; ++i) inv_perm_[perm_[i]] = i;
+}
+
+std::string FoldedTorus::name() const {
+  return "folded_torus" + std::to_string(radix_) + "x" + std::to_string(radix_);
+}
+
+int FoldedTorus::ring_index(NodeId n, int dim) const {
+  return inv_perm_[dim == 0 ? x_of(n) : y_of(n)];
+}
+
+std::optional<Link> FoldedTorus::neighbor(NodeId n, Port out) const {
+  if (out == Port::kTile) return std::nullopt;
+  const int dim = dim_of(out);
+  const int pos = dim == 0 ? x_of(n) : y_of(n);
+  const int r = inv_perm_[pos];
+  const int next_r = is_positive(out) ? (r + 1) % radix_ : (r + radix_ - 1) % radix_;
+  const int next_pos = perm_[next_r];
+  const double length = std::abs(next_pos - pos) * tile_mm_;
+  const NodeId dst =
+      dim == 0 ? node_at(next_pos, y_of(n)) : node_at(x_of(n), next_pos);
+  return Link{dst, out, length};
+}
+
+bool FoldedTorus::crosses_dateline(NodeId n, Port out) const {
+  if (out == Port::kTile) return false;
+  const int r = ring_index(n, dim_of(out));
+  return is_positive(out) ? r == radix_ - 1 : r == 0;
+}
+
+}  // namespace ocn::topo

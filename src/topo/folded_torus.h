@@ -1,0 +1,34 @@
+// 2-D folded torus: the paper's baseline network (section 2).
+//
+// Each row/column ring of k physically colinear tiles is cyclically
+// connected in interleaved order so no wire spans more than two tile
+// pitches. For k=4 the order is 0,2,3,1 — exactly the paper's "nodes 0-3 in
+// each row cyclically connected in the order 0,2,3,1" — giving link lengths
+// 2,1,2,1 pitches. In general the ring visits 0,2,4,...,then back down the
+// odd positions.
+#pragma once
+
+#include "topo/topology.h"
+
+namespace ocn::topo {
+
+class FoldedTorus final : public Topology {
+ public:
+  FoldedTorus(int radix, double tile_mm);
+
+  std::string name() const override;
+  std::optional<Link> neighbor(NodeId n, Port out) const override;
+  bool crosses_dateline(NodeId n, Port out) const override;
+  bool has_wraparound() const override { return true; }
+  int bisection_channels() const override { return 4 * radix_; }
+  int ring_index(NodeId n, int dim) const override;
+
+  /// Physical position of the i-th node in ring order (e.g. {0,2,3,1} for k=4).
+  const std::vector<int>& ring_order() const { return perm_; }
+
+ private:
+  std::vector<int> perm_;      // ring index -> physical position
+  std::vector<int> inv_perm_;  // physical position -> ring index
+};
+
+}  // namespace ocn::topo

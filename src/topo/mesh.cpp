@@ -1,0 +1,21 @@
+#include "topo/mesh.h"
+
+namespace ocn::topo {
+
+std::string Mesh::name() const { return "mesh" + std::to_string(radix_) + "x" + std::to_string(radix_); }
+
+std::optional<Link> Mesh::neighbor(NodeId n, Port out) const {
+  int x = x_of(n);
+  int y = y_of(n);
+  switch (out) {
+    case Port::kRowPos: ++x; break;
+    case Port::kRowNeg: --x; break;
+    case Port::kColPos: ++y; break;
+    case Port::kColNeg: --y; break;
+    case Port::kTile: return std::nullopt;
+  }
+  if (x < 0 || x >= radix_ || y < 0 || y >= radix_) return std::nullopt;
+  return Link{node_at(x, y), out, tile_mm_};
+}
+
+}  // namespace ocn::topo

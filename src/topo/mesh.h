@@ -1,0 +1,18 @@
+// k-ary 2-mesh: the power-efficient baseline of paper section 3.1.
+#pragma once
+
+#include "topo/topology.h"
+
+namespace ocn::topo {
+
+class Mesh final : public Topology {
+ public:
+  Mesh(int radix, double tile_mm) : Topology(radix, tile_mm) {}
+
+  std::string name() const override;
+  std::optional<Link> neighbor(NodeId n, Port out) const override;
+  bool has_wraparound() const override { return false; }
+  int bisection_channels() const override { return 2 * radix_; }
+};
+
+}  // namespace ocn::topo

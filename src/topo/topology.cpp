@@ -1,0 +1,103 @@
+#include "topo/topology.h"
+
+#include <cassert>
+#include <limits>
+#include <tuple>
+#include <queue>
+
+namespace ocn::topo {
+
+const char* port_name(Port p) {
+  switch (p) {
+    case Port::kRowPos: return "row+";
+    case Port::kRowNeg: return "row-";
+    case Port::kColPos: return "col+";
+    case Port::kColNeg: return "col-";
+    case Port::kTile: return "tile";
+  }
+  return "?";
+}
+
+int Topology::ring_index(NodeId n, int dim) const {
+  return dim == 0 ? x_of(n) : y_of(n);
+}
+
+std::vector<ChannelDesc> Topology::channels() const {
+  std::vector<ChannelDesc> out;
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    for (int p = 0; p < kNumDirPorts; ++p) {
+      const auto port = static_cast<Port>(p);
+      if (auto link = neighbor(n, port)) {
+        out.push_back({n, port, link->dst, link->dst_in_port, link->length_mm});
+      }
+    }
+  }
+  return out;
+}
+
+int Topology::min_hops(NodeId src, NodeId dst) const {
+  if (src == dst) return 0;
+  std::vector<int> dist(num_nodes(), -1);
+  std::queue<NodeId> q;
+  dist[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId n = q.front();
+    q.pop();
+    for (int p = 0; p < kNumDirPorts; ++p) {
+      if (auto link = neighbor(n, static_cast<Port>(p))) {
+        if (dist[link->dst] < 0) {
+          dist[link->dst] = dist[n] + 1;
+          if (link->dst == dst) return dist[link->dst];
+          q.push(link->dst);
+        }
+      }
+    }
+  }
+  assert(false && "topology is disconnected");
+  return -1;
+}
+
+double Topology::avg_min_hops() const {
+  double sum = 0.0;
+  for (NodeId s = 0; s < num_nodes(); ++s) {
+    for (NodeId d = 0; d < num_nodes(); ++d) sum += min_hops(s, d);
+  }
+  return sum / (static_cast<double>(num_nodes()) * num_nodes());
+}
+
+double Topology::avg_min_distance_mm() const {
+  // Among minimal-hop paths, take the one with least physical wire length:
+  // Dijkstra on the lexicographic (hops, mm) cost.
+  const double inf = std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (NodeId s = 0; s < num_nodes(); ++s) {
+    std::vector<int> hops(num_nodes(), std::numeric_limits<int>::max());
+    std::vector<double> mm(num_nodes(), inf);
+    using Entry = std::tuple<int, double, NodeId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+    hops[s] = 0;
+    mm[s] = 0.0;
+    pq.emplace(0, 0.0, s);
+    while (!pq.empty()) {
+      auto [h, d, n] = pq.top();
+      pq.pop();
+      if (h > hops[n] || (h == hops[n] && d > mm[n])) continue;
+      for (int p = 0; p < kNumDirPorts; ++p) {
+        if (auto link = neighbor(n, static_cast<Port>(p))) {
+          const int nh = h + 1;
+          const double nd = d + link->length_mm;
+          if (nh < hops[link->dst] || (nh == hops[link->dst] && nd < mm[link->dst])) {
+            hops[link->dst] = nh;
+            mm[link->dst] = nd;
+            pq.emplace(nh, nd, link->dst);
+          }
+        }
+      }
+    }
+    for (NodeId d = 0; d < num_nodes(); ++d) sum += mm[d];
+  }
+  return sum / (static_cast<double>(num_nodes()) * num_nodes());
+}
+
+}  // namespace ocn::topo

@@ -1,0 +1,49 @@
+#include "topo/torus.h"
+
+namespace ocn::topo {
+
+std::string Torus::name() const { return "torus" + std::to_string(radix_) + "x" + std::to_string(radix_); }
+
+std::optional<Link> Torus::neighbor(NodeId n, Port out) const {
+  const int x = x_of(n);
+  const int y = y_of(n);
+  int nx = x;
+  int ny = y;
+  bool wrap = false;
+  switch (out) {
+    case Port::kRowPos:
+      nx = (x + 1) % radix_;
+      wrap = (x == radix_ - 1);
+      break;
+    case Port::kRowNeg:
+      nx = (x + radix_ - 1) % radix_;
+      wrap = (x == 0);
+      break;
+    case Port::kColPos:
+      ny = (y + 1) % radix_;
+      wrap = (y == radix_ - 1);
+      break;
+    case Port::kColNeg:
+      ny = (y + radix_ - 1) % radix_;
+      wrap = (y == 0);
+      break;
+    case Port::kTile:
+      return std::nullopt;
+  }
+  const double length = wrap ? tile_mm_ * (radix_ - 1) : tile_mm_;
+  return Link{node_at(nx, ny), out, length};
+}
+
+bool Torus::crosses_dateline(NodeId n, Port out) const {
+  // Dateline sits on the wraparound link of each ring.
+  switch (out) {
+    case Port::kRowPos: return x_of(n) == radix_ - 1;
+    case Port::kRowNeg: return x_of(n) == 0;
+    case Port::kColPos: return y_of(n) == radix_ - 1;
+    case Port::kColNeg: return y_of(n) == 0;
+    case Port::kTile: return false;
+  }
+  return false;
+}
+
+}  // namespace ocn::topo

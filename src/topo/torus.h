@@ -1,0 +1,22 @@
+// k-ary 2-torus with physically unfolded (loop-back) wiring: adjacent links
+// are one tile pitch, the wraparound link spans k-1 pitches. The folded
+// variant (folded_torus.h) equalizes wire lengths; this one exists to show
+// why folding matters (long wrap wires) and as the logical-torus reference.
+#pragma once
+
+#include "topo/topology.h"
+
+namespace ocn::topo {
+
+class Torus final : public Topology {
+ public:
+  Torus(int radix, double tile_mm) : Topology(radix, tile_mm) {}
+
+  std::string name() const override;
+  std::optional<Link> neighbor(NodeId n, Port out) const override;
+  bool crosses_dateline(NodeId n, Port out) const override;
+  bool has_wraparound() const override { return true; }
+  int bisection_channels() const override { return 4 * radix_; }
+};
+
+}  // namespace ocn::topo

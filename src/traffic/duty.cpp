@@ -1,0 +1,43 @@
+#include "traffic/duty.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ocn::traffic {
+
+DedicatedWiringReport dedicated_wiring(const topo::Topology& topo,
+                                       const std::vector<DedicatedFlow>& flows) {
+  DedicatedWiringReport r;
+  double duty_weighted = 0.0;
+  for (const auto& f : flows) {
+    const double dx = std::abs(topo.x_of(f.src) - topo.x_of(f.dst));
+    const double dy = std::abs(topo.y_of(f.src) - topo.y_of(f.dst));
+    const double length_mm = (dx + dy) * topo.tile_mm();
+    const int wires = static_cast<int>(std::ceil(f.peak_bits_per_cycle));
+    const double duty = f.peak_bits_per_cycle > 0
+                            ? f.avg_bits_per_cycle / f.peak_bits_per_cycle
+                            : 0.0;
+    r.total_wire_mm += wires * length_mm;
+    r.total_wires += wires;
+    duty_weighted += duty * wires;
+  }
+  r.avg_duty_factor = r.total_wires > 0 ? duty_weighted / r.total_wires : 0.0;
+  return r;
+}
+
+NetworkDutyReport network_duty(const core::Network& net, Cycle cycles) {
+  NetworkDutyReport r;
+  const auto usage = net.link_usage();
+  if (usage.empty() || cycles <= 0) return r;
+  double sum = 0.0;
+  for (const auto& u : usage) {
+    const double duty = static_cast<double>(u.flits) / static_cast<double>(cycles);
+    sum += duty;
+    r.max_channel_duty = std::max(r.max_channel_duty, duty);
+    r.total_wire_mm += u.length_mm;
+  }
+  r.avg_channel_duty = sum / static_cast<double>(usage.size());
+  return r;
+}
+
+}  // namespace ocn::traffic

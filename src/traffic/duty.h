@@ -1,0 +1,55 @@
+// Wire duty-factor analysis (paper section 4.4).
+//
+// "The average wire on a typical chip is used (toggles) less than 10% of the
+// time... A network solves this problem by sharing the wires across many
+// signals." We compare:
+//   * the dedicated-wiring baseline: every flow gets its own point-to-point
+//     bundle sized for its peak rate; duty factor = average rate / capacity;
+//   * the shared network: channel duty = flits carried / cycles, optionally
+//     boosted by multi-bit-per-wire signaling (section 3.3), which is how
+//     the paper reaches duty factors "over 100%".
+#pragma once
+
+#include <vector>
+
+#include "core/network.h"
+#include "phys/serialization.h"
+#include "topo/topology.h"
+
+namespace ocn::traffic {
+
+/// One logical point-to-point communication flow in the dedicated-wiring
+/// baseline.
+struct DedicatedFlow {
+  NodeId src;
+  NodeId dst;
+  double avg_bits_per_cycle;   ///< long-run average demand
+  double peak_bits_per_cycle;  ///< the bundle must be sized for this
+};
+
+struct DedicatedWiringReport {
+  double total_wire_mm = 0.0;  ///< sum over flows of width x manhattan length
+  int total_wires = 0;
+  double avg_duty_factor = 0.0;  ///< wire-weighted average of avg/peak
+};
+
+/// Evaluate the dedicated baseline: bundles routed manhattan between tile
+/// centres, one wire per peak bit per cycle.
+DedicatedWiringReport dedicated_wiring(const topo::Topology& topo,
+                                       const std::vector<DedicatedFlow>& flows);
+
+struct NetworkDutyReport {
+  double avg_channel_duty = 0.0;  ///< flits per channel per cycle
+  double max_channel_duty = 0.0;
+  double total_wire_mm = 0.0;     ///< physical network wiring (both metal dirs)
+  /// Duty in bit-times per wire per cycle with serializing transceivers
+  /// sending `bits_per_wire_per_clock` each cycle — can exceed 1.0.
+  double effective_duty(double bits_per_wire_per_clock) const {
+    return avg_channel_duty * bits_per_wire_per_clock;
+  }
+};
+
+/// Summarize channel occupancy of a simulated network over `cycles`.
+NetworkDutyReport network_duty(const core::Network& net, Cycle cycles);
+
+}  // namespace ocn::traffic

@@ -1,0 +1,37 @@
+#include "traffic/injection.h"
+
+namespace ocn::traffic {
+
+InjectionProcess InjectionProcess::bernoulli(double rate) {
+  InjectionProcess p;
+  p.rate_ = rate;
+  return p;
+}
+
+InjectionProcess InjectionProcess::on_off(double rate_on, double p_on_off, double p_off_on) {
+  InjectionProcess p;
+  p.bursty_ = true;
+  p.rate_ = rate_on;
+  p.p_on_off_ = p_on_off;
+  p.p_off_on_ = p_off_on;
+  p.on_ = false;
+  return p;
+}
+
+bool InjectionProcess::fire(Rng& rng) {
+  if (!bursty_) return rng.bernoulli(rate_);
+  if (on_) {
+    if (rng.bernoulli(p_on_off_)) on_ = false;
+  } else {
+    if (rng.bernoulli(p_off_on_)) on_ = true;
+  }
+  return on_ && rng.bernoulli(rate_);
+}
+
+double InjectionProcess::mean_rate() const {
+  if (!bursty_) return rate_;
+  const double denom = p_on_off_ + p_off_on_;
+  return denom > 0 ? rate_ * (p_off_on_ / denom) : 0.0;
+}
+
+}  // namespace ocn::traffic

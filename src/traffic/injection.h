@@ -1,0 +1,35 @@
+// Temporal injection processes. Bernoulli for the classic open-loop load
+// sweep; a two-state Markov on/off process for bursty dynamic traffic.
+#pragma once
+
+#include "sim/rng.h"
+
+namespace ocn::traffic {
+
+class InjectionProcess {
+ public:
+  /// Independent injection each cycle with the given packet rate.
+  static InjectionProcess bernoulli(double rate);
+
+  /// Two-state Markov modulated process: in the ON state packets are
+  /// generated at rate_on; transitions ON->OFF with p_on_off and OFF->ON
+  /// with p_off_on per cycle. Average rate = rate_on * p_off_on /
+  /// (p_on_off + p_off_on).
+  static InjectionProcess on_off(double rate_on, double p_on_off, double p_off_on);
+
+  /// One cycle: does a packet get generated?
+  bool fire(Rng& rng);
+
+  /// Long-run average packet rate.
+  double mean_rate() const;
+
+ private:
+  InjectionProcess() = default;
+  bool bursty_ = false;
+  double rate_ = 0.0;
+  double p_on_off_ = 0.0;
+  double p_off_on_ = 0.0;
+  bool on_ = true;
+};
+
+}  // namespace ocn::traffic

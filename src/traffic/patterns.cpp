@@ -1,0 +1,95 @@
+#include "traffic/patterns.h"
+
+#include <cassert>
+
+namespace ocn::traffic {
+
+const char* pattern_name(Pattern p) {
+  switch (p) {
+    case Pattern::kUniform: return "uniform";
+    case Pattern::kTranspose: return "transpose";
+    case Pattern::kBitComplement: return "bit_complement";
+    case Pattern::kShuffle: return "shuffle";
+    case Pattern::kBitReverse: return "bit_reverse";
+    case Pattern::kTornado: return "tornado";
+    case Pattern::kNeighbor: return "neighbor";
+    case Pattern::kHotspot: return "hotspot";
+  }
+  return "?";
+}
+
+namespace {
+int bits_for(int n) {
+  int b = 0;
+  while ((1 << b) < n) ++b;
+  return b;
+}
+bool power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }
+}  // namespace
+
+TrafficPattern::TrafficPattern(Pattern kind, const topo::Topology& topology,
+                               double hotspot_fraction, NodeId hotspot_node)
+    : kind_(kind),
+      topo_(topology),
+      hotspot_fraction_(hotspot_fraction),
+      hotspot_node_(hotspot_node),
+      id_bits_(bits_for(topology.num_nodes())) {
+  if (kind == Pattern::kBitComplement || kind == Pattern::kShuffle ||
+      kind == Pattern::kBitReverse) {
+    assert(power_of_two(topology.num_nodes()) && "bit patterns need 2^n nodes");
+  }
+}
+
+NodeId TrafficPattern::uniform_other(NodeId src, Rng& rng) const {
+  const int n = topo_.num_nodes();
+  NodeId dst = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n - 1)));
+  if (dst >= src) ++dst;  // skip self
+  return dst;
+}
+
+NodeId TrafficPattern::deterministic_destination(NodeId src) const {
+  const int k = topo_.radix();
+  const int x = topo_.x_of(src);
+  const int y = topo_.y_of(src);
+  switch (kind_) {
+    case Pattern::kTranspose:
+      return topo_.node_at(y, x);
+    case Pattern::kBitComplement:
+      return static_cast<NodeId>(~static_cast<unsigned>(src) & ((1u << id_bits_) - 1));
+    case Pattern::kShuffle: {
+      const auto s = static_cast<unsigned>(src);
+      return static_cast<NodeId>(((s << 1) | (s >> (id_bits_ - 1))) & ((1u << id_bits_) - 1));
+    }
+    case Pattern::kBitReverse: {
+      unsigned s = static_cast<unsigned>(src);
+      unsigned r = 0;
+      for (int b = 0; b < id_bits_; ++b) {
+        r = (r << 1) | (s & 1u);
+        s >>= 1;
+      }
+      return static_cast<NodeId>(r);
+    }
+    case Pattern::kTornado:
+      return topo_.node_at((x + k / 2) % k, (y + k / 2) % k);
+    case Pattern::kNeighbor:
+      return topo_.node_at((x + 1) % k, y);
+    default:
+      return src;
+  }
+}
+
+NodeId TrafficPattern::destination(NodeId src, Rng& rng) const {
+  switch (kind_) {
+    case Pattern::kUniform:
+      return uniform_other(src, rng);
+    case Pattern::kHotspot:
+      if (src != hotspot_node_ && rng.bernoulli(hotspot_fraction_)) return hotspot_node_;
+      return uniform_other(src, rng);
+    default: {
+      const NodeId dst = deterministic_destination(src);
+      return dst == src ? uniform_other(src, rng) : dst;
+    }
+  }
+}
+
+}  // namespace ocn::traffic

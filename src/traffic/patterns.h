@@ -1,0 +1,51 @@
+// Spatial traffic patterns for network evaluation. Uniform random models the
+// paper's dynamic traffic (processor memory references); the permutations
+// and hotspot stress specific resources (bit-complement loads the bisection,
+// which is how bench E3 demonstrates the torus's 2x bisection bandwidth).
+#pragma once
+
+#include <string>
+
+#include "sim/rng.h"
+#include "sim/types.h"
+#include "topo/topology.h"
+
+namespace ocn::traffic {
+
+enum class Pattern {
+  kUniform,        ///< destination uniform over all other nodes
+  kTranspose,      ///< (x,y) -> (y,x)
+  kBitComplement,  ///< node -> ~node (max bisection load)
+  kShuffle,        ///< rotate node id bits left by one
+  kBitReverse,     ///< reverse node id bits
+  kTornado,        ///< half-way around the ring in each dimension
+  kNeighbor,       ///< (x+1, y) nearest neighbour
+  kHotspot,        ///< a fraction of traffic targets one node
+};
+
+const char* pattern_name(Pattern p);
+
+class TrafficPattern {
+ public:
+  TrafficPattern(Pattern kind, const topo::Topology& topology,
+                 double hotspot_fraction = 0.2, NodeId hotspot_node = 0);
+
+  /// Destination for a packet generated at src. Deterministic patterns
+  /// ignore the RNG; a deterministic self-destination maps to uniform
+  /// fallback so every generated packet travels.
+  NodeId destination(NodeId src, Rng& rng) const;
+
+  Pattern kind() const { return kind_; }
+
+ private:
+  NodeId deterministic_destination(NodeId src) const;
+  NodeId uniform_other(NodeId src, Rng& rng) const;
+
+  Pattern kind_;
+  const topo::Topology& topo_;
+  double hotspot_fraction_;
+  NodeId hotspot_node_;
+  int id_bits_;
+};
+
+}  // namespace ocn::traffic

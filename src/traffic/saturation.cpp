@@ -1,0 +1,55 @@
+#include "traffic/saturation.h"
+
+#include <algorithm>
+
+#include "core/network.h"
+
+namespace ocn::traffic {
+namespace {
+
+double accepted_at(const core::Config& config, const SaturationOptions& opt,
+                   double offered) {
+  core::Network net(config);
+  HarnessOptions h;
+  h.pattern = opt.pattern;
+  h.packet_flits = opt.packet_flits;
+  h.injection_rate = offered / opt.packet_flits;
+  h.warmup = opt.warmup;
+  h.measure = opt.measure;
+  h.drain_max = 1;  // saturation probing never drains
+  h.seed = opt.seed;
+  LoadHarness harness(net, h);
+  return harness.run().accepted_flits;
+}
+
+}  // namespace
+
+SaturationResult find_saturation(const core::Config& config,
+                                 const SaturationOptions& opt) {
+  SaturationResult r;
+  auto saturated = [&](double offered) {
+    const double accepted = accepted_at(config, opt, offered);
+    ++r.probes;
+    r.peak_accepted = std::max(r.peak_accepted, accepted);
+    return accepted < (1.0 - opt.tolerance) * offered;
+  };
+
+  double lo = 0.0;            // known good
+  double hi = opt.max_load;   // probe ceiling
+  if (!saturated(hi)) {
+    r.saturation_load = hi;
+    return r;
+  }
+  while (hi - lo > opt.resolution) {
+    const double mid = 0.5 * (lo + hi);
+    if (saturated(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  r.saturation_load = lo;
+  return r;
+}
+
+}  // namespace ocn::traffic

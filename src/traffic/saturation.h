@@ -1,0 +1,35 @@
+// Saturation-throughput search: the standard figure of merit for a network
+// configuration. Saturation is defined as the largest offered load the
+// network still accepts (accepted >= (1 - tolerance) * offered); found by
+// bisection over offered load, fresh network per probe.
+#pragma once
+
+#include <functional>
+
+#include "core/config.h"
+#include "traffic/generator.h"
+
+namespace ocn::traffic {
+
+struct SaturationOptions {
+  Pattern pattern = Pattern::kUniform;
+  int packet_flits = 1;
+  double tolerance = 0.05;   ///< accepted/offered shortfall that counts as saturated
+  double resolution = 0.02;  ///< bisection stops at this load granularity
+  double max_load = 1.0;
+  Cycle warmup = 500;
+  Cycle measure = 2500;
+  std::uint64_t seed = 42;
+};
+
+struct SaturationResult {
+  double saturation_load = 0.0;   ///< highest non-saturated offered load
+  double peak_accepted = 0.0;     ///< accepted throughput at/above saturation
+  int probes = 0;
+};
+
+/// Find the saturation point of the given configuration.
+SaturationResult find_saturation(const core::Config& config,
+                                 const SaturationOptions& options = {});
+
+}  // namespace ocn::traffic

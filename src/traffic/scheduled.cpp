@@ -1,0 +1,71 @@
+#include "traffic/scheduled.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ocn::traffic {
+
+ScheduledFlow::ScheduledFlow(core::Network& net, NodeId src, NodeId dst, Cycle phase_hint,
+                             int slots_per_frame)
+    : net_(net), src_(src), dst_(dst), frame_(net.config().router.reservation_frame) {
+  // Spread the slots evenly across the frame so delivery spacing is as
+  // regular as the slot count allows.
+  for (int i = 0; i < slots_per_frame; ++i) {
+    const Cycle hint = (phase_hint + i * frame_ / slots_per_frame) % frame_;
+    const auto phase = net_.reserve_flow(src, dst, hint);
+    if (!phase) {
+      throw std::runtime_error("ScheduledFlow: no conflict-free reservation phase");
+    }
+    phases_.push_back(*phase);
+  }
+  next_send_.assign(phases_.size(), -1);
+  // Capture this flow's packets at the destination NIC.
+  net_.nic(dst).add_filter([this](const core::Packet& p) {
+    if (!p.scheduled || p.src != src_) return false;
+    ++received_;
+    latency_.add(static_cast<double>(p.latency()));
+    network_latency_.add(static_cast<double>(p.network_latency()));
+    if (last_arrival_ >= 0) {
+      interarrival_.add(static_cast<double>(p.delivered - last_arrival_));
+    }
+    last_arrival_ = p.delivered;
+    return true;
+  });
+  net_.kernel().add(this);
+}
+
+std::optional<Cycle> ScheduledFlow::plan_phase(core::Network& net, NodeId src, NodeId dst,
+                                               Cycle phase_hint) {
+  return net.reserve_flow(src, dst, phase_hint);
+}
+
+void ScheduledFlow::step(Cycle now) {
+  if (!running_) return;
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (next_send_[i] < 0) {
+      // First send: the next cycle congruent to the phase (strictly in the
+      // future — the NIC's step for `now` has already run).
+      next_send_[i] = now + 1;
+      while (next_send_[i] % frame_ != phases_[i] % frame_) ++next_send_[i];
+    }
+  }
+  // Hand packets to the NIC one frame ahead of their departure slots, in
+  // chronological order: the NIC's per-VC queue is FIFO, so an out-of-order
+  // enqueue would head-of-line block an earlier slot.
+  std::vector<std::size_t> due;
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (now + frame_ >= next_send_[i]) due.push_back(i);
+  }
+  std::sort(due.begin(), due.end(), [&](std::size_t a, std::size_t b) {
+    return next_send_[a] < next_send_[b];
+  });
+  for (std::size_t i : due) {
+    core::Packet p = core::make_packet(dst_, /*service_class=*/3, /*num_flits=*/1);
+    p.flit_payloads[0][0] = static_cast<std::uint64_t>(sent_);
+    net_.nic(src_).schedule_packet(std::move(p), next_send_[i], now);
+    ++sent_;
+    next_send_[i] += frame_;
+  }
+}
+
+}  // namespace ocn::traffic

@@ -1,0 +1,136 @@
+// Fault tolerance (section 2.5): spare-bit steering at the link level and
+// end-to-end recovery through the network.
+#include <gtest/gtest.h>
+
+#include "core/fault.h"
+#include "core/network.h"
+#include "sim/rng.h"
+
+namespace ocn {
+namespace {
+
+using core::Config;
+using core::Network;
+using core::SteeredLink;
+
+std::vector<bool> random_bits(Rng& rng, int n) {
+  std::vector<bool> v(static_cast<std::size_t>(n));
+  for (auto&& b : v) b = rng.bernoulli(0.5);
+  return v;
+}
+
+TEST(SteeredLink, IdentityWhenHealthy) {
+  SteeredLink link(16, 1);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const auto bits = random_bits(rng, 16);
+    EXPECT_EQ(link.transmit(bits), bits);
+  }
+  EXPECT_TRUE(link.healthy());
+}
+
+TEST(SteeredLink, UnconfiguredFaultCorrupts) {
+  SteeredLink link(16, 1);
+  link.inject_stuck_at(/*wire=*/5, /*stuck_value=*/true);
+  EXPECT_FALSE(link.healthy());
+  std::vector<bool> zeros(16, false);
+  const auto out = link.transmit(zeros);
+  EXPECT_TRUE(out[5]);  // bit 5 reads back stuck-at-1
+}
+
+TEST(SteeredLink, SteeringRoutesAroundSingleFault) {
+  Rng rng(2);
+  for (int faulty = 0; faulty < 17; ++faulty) {  // every wire incl. the spare
+    SteeredLink link(16, 1);
+    link.inject_stuck_at(faulty, rng.bernoulli(0.5));
+    EXPECT_TRUE(link.configure_steering());
+    EXPECT_TRUE(link.healthy()) << "fault at wire " << faulty;
+    for (int i = 0; i < 20; ++i) {
+      const auto bits = random_bits(rng, 16);
+      EXPECT_EQ(link.transmit(bits), bits) << "fault at wire " << faulty;
+    }
+  }
+}
+
+TEST(SteeredLink, MultipleSparesCoverMultipleFaults) {
+  // Section 2.5: "multiple spare bits can be provided using the same method."
+  Rng rng(3);
+  SteeredLink link(16, 3);
+  link.inject_stuck_at(2, true);
+  link.inject_stuck_at(9, false);
+  link.inject_stuck_at(14, true);
+  EXPECT_TRUE(link.configure_steering());
+  EXPECT_TRUE(link.healthy());
+  for (int i = 0; i < 50; ++i) {
+    const auto bits = random_bits(rng, 16);
+    EXPECT_EQ(link.transmit(bits), bits);
+  }
+}
+
+TEST(SteeredLink, MoreFaultsThanSparesIsDetected) {
+  SteeredLink link(16, 1);
+  link.inject_stuck_at(2, true);
+  link.inject_stuck_at(9, false);
+  EXPECT_FALSE(link.configure_steering());
+  EXPECT_FALSE(link.healthy());
+}
+
+TEST(PayloadBits, RoundTrip) {
+  Rng rng(4);
+  router::Payload p{rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64()};
+  const auto bits = core::payload_to_bits(p, 256);
+  EXPECT_EQ(core::bits_to_payload(bits), p);
+}
+
+Config faulty_config() {
+  Config c = Config::paper_baseline();
+  c.fault_layer = true;
+  c.link_spare_bits = 1;
+  return c;
+}
+
+TEST(NetworkFault, UnconfiguredStuckBitCorruptsPayloads) {
+  Network net(faulty_config());
+  // Fault on the row+ link out of node 0 (used by route 0 -> 2).
+  auto* fault = net.link_fault(0, topo::Port::kRowPos);
+  ASSERT_NE(fault, nullptr);
+  fault->link().inject_stuck_at(/*wire=*/7, /*stuck=*/true);
+  core::Packet p = core::make_word_packet(2, 0, 0);  // all-zero payload
+  ASSERT_TRUE(net.nic(0).inject(std::move(p), net.now()));
+  ASSERT_TRUE(net.drain(1000));
+  const auto& got = net.nic(2).received().front();
+  EXPECT_NE(got.flit_payloads[0][0], 0u);  // bit 7 flipped to 1
+  EXPECT_GT(fault->corrupted_flits(), 0);
+}
+
+TEST(NetworkFault, FuseConfigurationRestoresCorrectness) {
+  Network net(faulty_config());
+  auto* fault = net.link_fault(0, topo::Port::kRowPos);
+  ASSERT_NE(fault, nullptr);
+  fault->link().inject_stuck_at(7, true);
+  ASSERT_TRUE(fault->link().configure_steering());  // blow the fuses
+  core::Packet p = core::make_word_packet(2, 0, 0);
+  ASSERT_TRUE(net.nic(0).inject(std::move(p), net.now()));
+  ASSERT_TRUE(net.drain(1000));
+  EXPECT_EQ(net.nic(2).received().front().flit_payloads[0][0], 0u);
+  EXPECT_EQ(fault->corrupted_flits(), 0);
+}
+
+TEST(NetworkFault, EveryLinkHasAFaultLayer) {
+  Network net(faulty_config());
+  int count = 0;
+  for (NodeId n = 0; n < net.num_nodes(); ++n) {
+    for (int p = 0; p < topo::kNumDirPorts; ++p) {
+      if (net.link_fault(n, static_cast<topo::Port>(p)) != nullptr) ++count;
+    }
+  }
+  EXPECT_EQ(count, 64);  // 4x4 torus: 64 unidirectional links
+}
+
+TEST(NetworkFault, DisabledByDefault) {
+  Network net(Config::paper_baseline());
+  EXPECT_EQ(net.link_fault(0, topo::Port::kRowPos), nullptr);
+}
+
+}  // namespace
+}  // namespace ocn

@@ -1,0 +1,82 @@
+// Partitioned sub-networks (section 4.2): delivery, ganging, efficiency.
+#include <gtest/gtest.h>
+
+#include "core/partition.h"
+#include "sim/rng.h"
+
+namespace ocn {
+namespace {
+
+using core::Config;
+using core::PartitionedNetwork;
+
+TEST(Partition, NarrowMessageUsesOnePartition) {
+  PartitionedNetwork pn(Config::paper_baseline(), 8);
+  EXPECT_EQ(pn.subflit_bits(), 32);
+  core::PartitionedMessage got{};
+  pn.set_delivery_handler([&](const core::PartitionedMessage& m) { got = m; });
+  ASSERT_TRUE(pn.send(0, 5, /*payload_bits=*/32, 0xabcd));
+  ASSERT_TRUE(pn.drain(2000));
+  EXPECT_EQ(got.dst, 5);
+  EXPECT_EQ(got.word, 0xabcdu);
+  EXPECT_EQ(got.partitions_used, 1);
+}
+
+TEST(Partition, WideMessageGangsPartitions) {
+  PartitionedNetwork pn(Config::paper_baseline(), 8);
+  core::PartitionedMessage got{};
+  pn.set_delivery_handler([&](const core::PartitionedMessage& m) { got = m; });
+  ASSERT_TRUE(pn.send(0, 5, /*payload_bits=*/256, 1));
+  ASSERT_TRUE(pn.drain(2000));
+  EXPECT_EQ(got.partitions_used, 8);
+  EXPECT_GT(got.latency(), 0);
+}
+
+TEST(Partition, ManyMessagesAllDeliver) {
+  PartitionedNetwork pn(Config::paper_baseline(), 4);
+  Rng rng(3);
+  int delivered = 0;
+  pn.set_delivery_handler([&](const core::PartitionedMessage&) { ++delivered; });
+  int sent = 0;
+  for (int i = 0; i < 300; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.next_below(16));
+    NodeId d = static_cast<NodeId>(rng.next_below(15));
+    if (d >= s) ++d;
+    const int bits = 1 + static_cast<int>(rng.next_below(256));
+    if (pn.send(s, d, bits, static_cast<std::uint64_t>(i))) ++sent;
+    pn.step();
+  }
+  ASSERT_TRUE(pn.drain(20000));
+  EXPECT_EQ(delivered, sent);
+  EXPECT_EQ(pn.messages_delivered(), pn.messages_sent());
+}
+
+TEST(Partition, EfficiencyHigherForNarrowTrafficOnNarrowPartitions) {
+  // 32-bit messages: 8x32 wastes nothing; 1x256 pads 7/8 of every flit.
+  auto efficiency = [](int partitions) {
+    PartitionedNetwork pn(Config::paper_baseline(), partitions);
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+      const NodeId s = static_cast<NodeId>(rng.next_below(16));
+      NodeId d = static_cast<NodeId>(rng.next_below(15));
+      if (d >= s) ++d;
+      pn.send(s, d, 32);
+      pn.step();
+    }
+    pn.drain(20000);
+    return pn.interface_efficiency();
+  };
+  EXPECT_NEAR(efficiency(8), 1.0, 1e-9);
+  EXPECT_NEAR(efficiency(1), 32.0 / 256.0, 1e-9);
+}
+
+TEST(Partition, SinglePartitionBehavesLikePlainNetwork) {
+  PartitionedNetwork pn(Config::paper_baseline(), 1);
+  EXPECT_EQ(pn.subflit_bits(), 256);
+  ASSERT_TRUE(pn.send(3, 9, 200, 7));
+  ASSERT_TRUE(pn.drain(2000));
+  EXPECT_EQ(pn.messages_delivered(), 1);
+}
+
+}  // namespace
+}  // namespace ocn

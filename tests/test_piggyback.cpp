@@ -1,0 +1,164 @@
+// Piggybacked credits (paper section 2.3): correctness under load,
+// equivalence with the dedicated-wire model, credit-only filler flits.
+#include <gtest/gtest.h>
+
+#include "core/network.h"
+#include "traffic/generator.h"
+#include "traffic/scheduled.h"
+
+namespace ocn {
+namespace {
+
+using core::Config;
+using core::Network;
+
+Config piggyback_config() {
+  Config c = Config::paper_baseline();
+  c.router.piggyback_credits = true;
+  return c;
+}
+
+std::int64_t credit_only_total(Network& net) {
+  std::int64_t n = 0;
+  for (NodeId i = 0; i < net.num_nodes(); ++i) {
+    for (int p = 0; p < topo::kNumPorts; ++p) {
+      n += net.router_at(i).output(static_cast<topo::Port>(p)).credit_only_flits();
+    }
+  }
+  return n;
+}
+
+TEST(Piggyback, SinglePacketDelivers) {
+  Network net(piggyback_config());
+  ASSERT_TRUE(net.nic(0).inject(core::make_word_packet(15, 0, 0xabc), net.now()));
+  ASSERT_TRUE(net.drain(2000));
+  ASSERT_EQ(net.nic(15).received().size(), 1u);
+  EXPECT_EQ(net.nic(15).received().front().flit_payloads[0][0], 0xabcu);
+}
+
+TEST(Piggyback, CreditOnlyFlitsFillIdleReverseLinks) {
+  Network net(piggyback_config());
+  // One-directional traffic: credits must come back on otherwise idle
+  // reverse links via credit-only flits.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(net.nic(0).inject(core::make_word_packet(15, i % 3, 1), net.now()));
+  }
+  ASSERT_TRUE(net.drain(5000));
+  EXPECT_GT(credit_only_total(net), 0);
+  EXPECT_EQ(net.stats().packets_delivered, 20);
+}
+
+TEST(Piggyback, BidirectionalTrafficPiggybacksOnRealFlits) {
+  Network net(piggyback_config());
+  // Heavy traffic both ways on the same ring: most credits ride real flits,
+  // so credit-only count stays well below flit count.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(net.nic(0).inject(core::make_word_packet(2, i % 3, 1), net.now()));
+    ASSERT_TRUE(net.nic(2).inject(core::make_word_packet(0, i % 3, 1), net.now()));
+    net.step();
+  }
+  ASSERT_TRUE(net.drain(10000));
+  EXPECT_EQ(net.stats().packets_delivered, 200);
+  EXPECT_LT(credit_only_total(net), net.stats().flits_delivered);
+}
+
+TEST(Piggyback, SustainedLoadConservesTraffic) {
+  Network net(piggyback_config());
+  traffic::HarnessOptions opt;
+  opt.injection_rate = 0.3;
+  opt.warmup = 300;
+  opt.measure = 3000;
+  opt.seed = 17;
+  traffic::LoadHarness harness(net, opt);
+  const auto r = harness.run();
+  EXPECT_TRUE(r.drained);
+  const auto s = net.stats();
+  EXPECT_EQ(s.flits_injected, s.flits_delivered);
+  EXPECT_EQ(s.packets_dropped, 0);
+}
+
+TEST(Piggyback, SaturationDrainsLosslessly) {
+  Network net(piggyback_config());
+  traffic::HarnessOptions opt;
+  opt.injection_rate = 0.9;
+  opt.pattern = traffic::Pattern::kTranspose;
+  opt.warmup = 0;
+  opt.measure = 3000;
+  opt.drain_max = 200000;
+  opt.seed = 23;
+  traffic::LoadHarness harness(net, opt);
+  const auto r = harness.run();
+  EXPECT_TRUE(r.drained) << "deadlock with piggybacked credits";
+  EXPECT_EQ(net.stats().flits_injected, net.stats().flits_delivered);
+}
+
+TEST(Piggyback, ThroughputMatchesDedicatedCreditWire) {
+  auto accepted = [](bool piggyback) {
+    Config c = Config::paper_baseline();
+    c.router.piggyback_credits = piggyback;
+    Network net(c);
+    traffic::HarnessOptions opt;
+    opt.injection_rate = 0.6;
+    opt.warmup = 500;
+    opt.measure = 3000;
+    opt.drain_max = 1;
+    opt.seed = 29;
+    traffic::LoadHarness harness(net, opt);
+    return harness.run().accepted_flits;
+  };
+  // Under bidirectional load nearly every credit rides a real flit, so the
+  // loops have the same length: throughput within a few percent.
+  EXPECT_NEAR(accepted(true), accepted(false), 0.03);
+}
+
+TEST(Piggyback, LatencyOverheadIsSmallAtLowLoad) {
+  auto latency = [](bool piggyback) {
+    Config c = Config::paper_baseline();
+    c.router.piggyback_credits = piggyback;
+    Network net(c);
+    traffic::HarnessOptions opt;
+    opt.injection_rate = 0.05;
+    opt.warmup = 300;
+    opt.measure = 3000;
+    opt.seed = 31;
+    traffic::LoadHarness harness(net, opt);
+    return harness.run().avg_latency;
+  };
+  EXPECT_NEAR(latency(true), latency(false), 1.0);
+}
+
+TEST(Piggyback, ScheduledFlowsStillJitterFree) {
+  Config c = piggyback_config();
+  c.router.exclusive_scheduled_vc = true;
+  c.router.reservation_frame = 24;
+  Network net(c);
+  traffic::ScheduledFlow flow(net, 1, 11);
+  flow.start();
+  traffic::HarnessOptions opt;
+  opt.injection_rate = 0.3;
+  opt.warmup = 0;
+  opt.measure = 4000;
+  opt.drain_max = 1;
+  opt.seed = 37;
+  traffic::LoadHarness harness(net, opt);
+  harness.run();
+  EXPECT_GT(flow.received(), 100);
+  EXPECT_DOUBLE_EQ(flow.interarrival().stddev(), 0.0);
+}
+
+TEST(Piggyback, WorksOnMesh) {
+  Config c = piggyback_config();
+  c.topology = core::TopologyKind::kMesh;
+  c.router.enforce_vc_parity = false;
+  Network net(c);
+  for (NodeId s = 0; s < 16; ++s) {
+    for (NodeId d = 0; d < 16; ++d) {
+      if (s != d) ASSERT_TRUE(net.nic(s).inject(core::make_word_packet(d, 0, 1), net.now()));
+    }
+  }
+  ASSERT_TRUE(net.drain(100000));
+  EXPECT_EQ(net.stats().packets_delivered, 16 * 15);
+}
+
+}  // namespace
+}  // namespace ocn

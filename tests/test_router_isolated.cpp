@@ -1,0 +1,286 @@
+// White-box tests of a single router driven through hand-wired channels —
+// no Network, no NIC: exact control over what arrives each cycle.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "router/router.h"
+#include "routing/route_computer.h"
+#include "topo/folded_torus.h"
+
+namespace ocn {
+namespace {
+
+using router::Credit;
+using router::Flit;
+using router::FlitType;
+using router::RouterParams;
+using topo::Port;
+
+/// One router with all ten channels (5 in, 5 out) plus credit returns,
+/// stepped manually.
+struct Harness {
+  topo::FoldedTorus topo{4, 3.0};
+  RouterParams params;
+  std::unique_ptr<router::Router> rtr;
+  Kernel kernel;
+  // Indexed by port.
+  std::vector<std::unique_ptr<Channel<Flit>>> in_flits;
+  std::vector<std::unique_ptr<Channel<Credit>>> in_credits;  // back upstream
+  std::vector<std::unique_ptr<Channel<Flit>>> out_flits;
+  std::vector<std::unique_ptr<Channel<Credit>>> out_credits;  // from downstream
+
+  explicit Harness(RouterParams p = RouterParams{}) : params(p) {
+    params.enforce_vc_parity = true;
+    rtr = std::make_unique<router::Router>(/*node=*/0, topo, params);
+    kernel.add(rtr.get());
+    for (int i = 0; i < topo::kNumPorts; ++i) {
+      const auto port = static_cast<Port>(i);
+      in_flits.push_back(std::make_unique<Channel<Flit>>(1));
+      in_credits.push_back(std::make_unique<Channel<Credit>>(1));
+      out_flits.push_back(std::make_unique<Channel<Flit>>(1));
+      out_credits.push_back(std::make_unique<Channel<Credit>>(1));
+      rtr->input(port).attach(in_flits.back().get(), in_credits.back().get());
+      rtr->output(port).attach(out_flits.back().get(), out_credits.back().get(), 3.0);
+      kernel.add(in_flits.back().get());
+      kernel.add(in_credits.back().get());
+      kernel.add(out_flits.back().get());
+      kernel.add(out_credits.back().get());
+    }
+  }
+
+  void send(Port p, Flit f) { in_flits[static_cast<std::size_t>(p)]->send(std::move(f)); }
+  std::optional<Flit> recv(Port p) { return out_flits[static_cast<std::size_t>(p)]->take(); }
+  std::optional<Credit> credit(Port p) {
+    return in_credits[static_cast<std::size_t>(p)]->take();
+  }
+  void ack(Port p, VcId vc) {
+    out_credits[static_cast<std::size_t>(p)]->send(Credit{vc});
+  }
+  void tick() { kernel.tick(); }
+
+  /// Step up to `max_ticks`, returning the first flit seen on `p` (channel
+  /// outputs last one cycle, so polling every tick is required).
+  std::optional<Flit> run_until_out(Port p, int max_ticks) {
+    for (int i = 0; i < max_ticks; ++i) {
+      tick();
+      if (auto f = recv(p)) return f;
+    }
+    return std::nullopt;
+  }
+};
+
+Flit head_flit(std::uint8_t route_codes_lsb_first, int entries, VcId vc = 0) {
+  Flit f;
+  f.type = FlitType::kHeadTail;
+  f.vc = vc;
+  f.vc_mask = 0b11;
+  for (int i = 0; i < entries; ++i) {
+    f.route.push((route_codes_lsb_first >> (2 * i)) & 0x3);
+  }
+  return f;
+}
+
+TEST(IsolatedRouter, StraightTraversalTakesTwoCycles) {
+  Harness h;
+  // Arrives on row+ input travelling row+; route: straight, then extract
+  // downstream (we only watch this router).
+  Flit f = head_flit(/*codes=*/0b1100, /*entries=*/2);  // straight, extract
+  h.send(Port::kRowPos, f);
+  h.tick();  // cycle 0: flit on the wire
+  h.tick();  // cycle 1: arrives, decodes, crosses to output stage
+  EXPECT_FALSE(h.recv(Port::kRowPos).has_value());
+  h.tick();  // cycle 2: stage flit wins the link
+  const auto out = h.recv(Port::kRowPos);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->route.size(), 1);  // one entry consumed
+  EXPECT_EQ(out->hops, 1);
+  EXPECT_DOUBLE_EQ(out->link_mm, 3.0);
+}
+
+TEST(IsolatedRouter, TurnCodesSelectOutputs) {
+  struct Case {
+    Port in;
+    std::uint8_t code;
+    Port expect_out;
+  };
+  for (const Case c : {Case{Port::kRowPos, 1, Port::kColPos},   // left
+                       Case{Port::kRowPos, 2, Port::kColNeg},   // right
+                       Case{Port::kColNeg, 1, Port::kRowPos},   // left from col
+                       Case{Port::kRowNeg, 0, Port::kRowNeg},   // straight
+                       Case{Port::kRowPos, 3, Port::kTile}}) {  // extract
+    Harness h;
+    Flit f;
+    f.type = FlitType::kHeadTail;
+    f.vc = 0;
+    f.vc_mask = 0b11;
+    f.route.push(c.code);
+    f.route.push(3);  // trailing extract for downstream
+    h.send(c.in, f);
+    EXPECT_TRUE(h.run_until_out(c.expect_out, 6).has_value())
+        << topo::port_name(c.in) << " code " << int(c.code);
+  }
+}
+
+TEST(IsolatedRouter, TileInputUsesAbsoluteCodes) {
+  for (int code = 0; code < 4; ++code) {
+    Harness h;
+    Flit f;
+    f.type = FlitType::kHeadTail;
+    f.vc = 0;
+    f.vc_mask = 0b11;
+    f.route.push(static_cast<std::uint8_t>(code));
+    f.route.push(3);
+    h.send(Port::kTile, f);
+    EXPECT_TRUE(h.run_until_out(static_cast<Port>(code), 6).has_value()) << code;
+  }
+}
+
+TEST(IsolatedRouter, CreditReturnsWhenFlitLeavesInputBuffer) {
+  Harness h;
+  h.send(Port::kRowPos, head_flit(0b1100, 2, /*vc=*/0));
+  std::optional<Credit> c;
+  int seen_at = -1;
+  for (int i = 0; i < 6 && !c; ++i) {
+    h.tick();
+    c = h.credit(Port::kRowPos);
+    if (c) seen_at = i;
+  }
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->vc, 0);
+  // Flit on wire (tick 0), pop + credit send (tick 1), credit visible after
+  // its one-cycle channel (tick 1's advance): a 2-3 cycle loop per segment.
+  EXPECT_LE(seen_at, 2);
+}
+
+TEST(IsolatedRouter, NoCreditsNoForwarding) {
+  RouterParams p;
+  p.buffer_depth = 1;
+  Harness h(p);
+  // First flit consumes the single downstream credit for its out VC.
+  h.send(Port::kRowPos, head_flit(0b1100, 2, 0));
+  ASSERT_TRUE(h.run_until_out(Port::kRowPos, 6).has_value());
+  // Second flit on the same VC waits: no credit came back.
+  h.send(Port::kRowPos, head_flit(0b1100, 2, 0));
+  EXPECT_FALSE(h.run_until_out(Port::kRowPos, 8).has_value());
+  // Downstream frees the slot: now it moves.
+  h.ack(Port::kRowPos, 0);
+  EXPECT_TRUE(h.run_until_out(Port::kRowPos, 6).has_value());
+}
+
+TEST(IsolatedRouter, BodyFlitsFollowHeadsVc) {
+  Harness h;
+  Flit head = head_flit(0b1100, 2, 0);
+  head.type = FlitType::kHead;
+  head.packet_flits = 3;
+  Flit body;
+  body.type = FlitType::kBody;
+  body.vc = 0;
+  body.packet_flits = 3;
+  body.flit_index = 1;
+  Flit tail = body;
+  tail.type = FlitType::kTail;
+  tail.flit_index = 2;
+
+  h.send(Port::kRowPos, head);
+  h.tick();
+  h.send(Port::kRowPos, body);
+  h.tick();
+  h.send(Port::kRowPos, tail);
+
+  std::vector<Flit> out;
+  for (int i = 0; i < 10; ++i) {
+    h.tick();
+    if (auto f = h.recv(Port::kRowPos)) out.push_back(*f);
+  }
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(router::is_head(out[0].type));
+  EXPECT_EQ(out[1].type, FlitType::kBody);
+  EXPECT_TRUE(router::is_tail(out[2].type));
+  // All three left on the same downstream VC.
+  EXPECT_EQ(out[0].vc, out[1].vc);
+  EXPECT_EQ(out[1].vc, out[2].vc);
+}
+
+TEST(IsolatedRouter, DatelineSwitchesVcParity) {
+  // Node 0 sits at row ring index 0; travelling row- from here crosses the
+  // dateline, so a packet leaving row- must be granted an odd VC.
+  Harness h;
+  ASSERT_TRUE(h.topo.crosses_dateline(0, Port::kRowNeg));
+  Flit f = head_flit(0, 0, 0);
+  f.route = {};
+  f.route.push(0);  // straight: keep travelling row-
+  f.route.push(3);  // extract downstream
+  h.send(Port::kRowNeg, f);
+  const auto out = h.run_until_out(Port::kRowNeg, 6);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->vc % 2, 1) << "dateline crossing must move to the odd VC";
+  EXPECT_TRUE(out->dateline_crossed);
+}
+
+TEST(IsolatedRouter, NonCrossingHopKeepsEvenParity) {
+  // Row+ from node 0 goes ring index 0 -> 1: no dateline.
+  Harness h;
+  ASSERT_FALSE(h.topo.crosses_dateline(0, Port::kRowPos));
+  h.send(Port::kRowPos, head_flit(0b1100, 2, 0));
+  const auto out = h.run_until_out(Port::kRowPos, 6);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->vc % 2, 0);
+  EXPECT_FALSE(out->dateline_crossed);
+}
+
+TEST(IsolatedRouter, OneFlitPerInputPerCycle) {
+  // Two VCs on one input both ready for different outputs: only one flit
+  // crosses the switch per cycle (the paper's per-input arbitration).
+  Harness h;
+  Flit a = head_flit(0b1100, 2, 0);  // straight -> row+
+  Flit b;
+  b.type = FlitType::kHeadTail;
+  b.vc = 2;  // different class
+  b.vc_mask = 0b1100;
+  b.route.push(1);  // left -> col+
+  b.route.push(3);
+  h.send(Port::kRowPos, a);
+  h.tick();
+  h.send(Port::kRowPos, b);
+  h.tick();  // both buffered now; one crosses this cycle
+
+  int outputs_seen_cycle3 = 0;
+  h.tick();
+  if (h.recv(Port::kRowPos)) ++outputs_seen_cycle3;
+  if (h.recv(Port::kColPos)) ++outputs_seen_cycle3;
+  EXPECT_LE(outputs_seen_cycle3, 1);
+  // Eventually both leave.
+  int total = outputs_seen_cycle3;
+  for (int i = 0; i < 6; ++i) {
+    h.tick();
+    if (h.recv(Port::kRowPos)) ++total;
+    if (h.recv(Port::kColPos)) ++total;
+  }
+  EXPECT_EQ(total, 2);
+}
+
+TEST(IsolatedRouter, ReservedSlotBypassesInOneCycle) {
+  RouterParams p;
+  p.reservation_frame = 8;
+  p.exclusive_scheduled_vc = true;
+  Harness h(p);
+  // Reserve row+ output, slot for the arrival cycle, from row+ input, VC 7.
+  // Flit hits the input at kernel cycle 1 (channel latency), so reserve
+  // slot 1.
+  ASSERT_TRUE(h.rtr->output(Port::kRowPos)
+                  .reservations()
+                  .reserve(/*slot=*/1, static_cast<int>(Port::kRowPos), /*vc=*/7));
+  Flit f = head_flit(0b1100, 2, /*vc=*/7);
+  f.priority = 1000;
+  h.send(Port::kRowPos, f);
+  h.tick();  // cycle 0 -> 1: flit arrives at cycle 1...
+  h.tick();  // ...and is bypassed onto the link the same cycle
+  const auto out = h.recv(Port::kRowPos);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->vc, 7);
+  EXPECT_EQ(h.rtr->output(Port::kRowPos).bypass_flits(), 1);
+}
+
+}  // namespace
+}  // namespace ocn

@@ -1,0 +1,233 @@
+// Router pipeline timing and flow-control mechanics, observed through the
+// assembled network: per-hop latency, credit loop behaviour, bypass timing,
+// wormhole integrity, link-latency and buffer-depth interactions.
+#include <gtest/gtest.h>
+
+#include "core/network.h"
+#include "traffic/generator.h"
+#include "traffic/scheduled.h"
+
+namespace ocn {
+namespace {
+
+using core::Config;
+using core::Network;
+
+Cycle one_packet_latency(Config c, NodeId src, NodeId dst, int flits = 1) {
+  Network net(c);
+  net.nic(src).inject(core::make_packet(dst, 0, flits), net.now());
+  const bool ok = net.drain(5000);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(net.nic(dst).received().size(), 1u);
+  return net.nic(dst).received().front().latency();
+}
+
+TEST(Pipeline, DynamicLatencyScalesTwoCyclesPerHop) {
+  // Uncontended: NIC inject (1) + tile channel (1) + per hop: router (1,
+  // overlapped with arrival) + stage->link (1) ... + eject channel + NIC.
+  Config c = Config::paper_baseline();
+  // 0 -> 2 is 1 hop; 0 -> 3 is 2 hops (ring order 0,2,3,1); 0 -> 15 is 4.
+  const Cycle l1 = one_packet_latency(c, 0, 2);
+  const Cycle l2 = one_packet_latency(c, 0, 3);
+  const Cycle l4 = one_packet_latency(c, 0, 15);
+  EXPECT_EQ(l2 - l1, 2);
+  EXPECT_EQ(l4 - l2, 4);
+}
+
+TEST(Pipeline, TwoStagePipelineAddsOneCyclePerHop) {
+  Config c = Config::paper_baseline();
+  c.router.speculative = false;
+  const Cycle cons1 = one_packet_latency(c, 0, 2);   // 1 hop
+  const Cycle cons4 = one_packet_latency(c, 0, 15);  // 4 hops
+  c.router.speculative = true;
+  const Cycle spec1 = one_packet_latency(c, 0, 2);
+  const Cycle spec4 = one_packet_latency(c, 0, 15);
+  // +1 cycle at every router traversed: a path of H links crosses H+1
+  // routers (source router included).
+  EXPECT_EQ(cons1 - spec1, 2);
+  EXPECT_EQ(cons4 - spec4, 5);
+}
+
+TEST(Pipeline, TwoStagePipelineStillLossless) {
+  Config c = Config::paper_baseline();
+  c.router.speculative = false;
+  Network net(c);
+  traffic::HarnessOptions opt;
+  opt.injection_rate = 0.4;
+  opt.warmup = 200;
+  opt.measure = 2000;
+  opt.drain_max = 100000;
+  traffic::LoadHarness harness(net, opt);
+  const auto r = harness.run();
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(net.stats().flits_injected, net.stats().flits_delivered);
+}
+
+TEST(Pipeline, MultiFlitPacketAddsOneCyclePerExtraFlit) {
+  Config c = Config::paper_baseline();
+  const Cycle l1 = one_packet_latency(c, 0, 15, 1);
+  const Cycle l4 = one_packet_latency(c, 0, 15, 4);
+  // Tail trails the head by one flit per cycle on an uncontended path.
+  EXPECT_EQ(l4 - l1, 3);
+}
+
+TEST(Pipeline, LinkLatencyAddsPerHop) {
+  Config c = Config::paper_baseline();
+  c.link_latency = 1;
+  const Cycle base = one_packet_latency(c, 0, 15);
+  c.link_latency = 3;
+  const Cycle slow = one_packet_latency(c, 0, 15);
+  EXPECT_EQ(slow - base, 4 * 2);  // 4 hops x 2 extra cycles each
+}
+
+TEST(Pipeline, ThroughputOneFlitPerCycleOnAPath) {
+  // Back-to-back single-flit packets between one pair sustain ~1 flit/cycle
+  // arrival (channel capacity) once the pipeline fills.
+  Network net(Config::paper_baseline());
+  const int n = 200;
+  // Spread over all four classes so VC turnaround is not the limiter.
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(net.nic(0).inject(core::make_word_packet(2, i % 4, 1), net.now()));
+  }
+  const Cycle start = net.now();
+  ASSERT_TRUE(net.drain(3000));
+  const auto& rx = net.nic(2).received();
+  ASSERT_EQ(rx.size(), static_cast<std::size_t>(n));
+  Cycle last = 0;
+  for (const auto& p : rx) last = std::max(last, p.delivered);
+  const double rate = static_cast<double>(n) / static_cast<double>(last - start);
+  EXPECT_GT(rate, 0.85);
+}
+
+TEST(Pipeline, SingleVcPairThroughputLimitedByVcTurnaround) {
+  // Same experiment on one class: the packet's VC is held from allocation
+  // to tail-send (2 cycles for single-flit packets), halving throughput.
+  // This is the measured cost that motivates multiple VCs per class use.
+  Config cfg = Config::paper_baseline();
+  cfg.nic_queue_packets = 256;
+  Network net(cfg);
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(net.nic(0).inject(core::make_word_packet(2, 0, 1), net.now()));
+  }
+  const Cycle start = net.now();
+  ASSERT_TRUE(net.drain(3000));
+  Cycle last = 0;
+  for (const auto& p : net.nic(2).received()) last = std::max(last, p.delivered);
+  const double rate = static_cast<double>(n) / static_cast<double>(last - start);
+  EXPECT_GT(rate, 0.4);
+  EXPECT_LT(rate, 0.75);
+}
+
+TEST(Pipeline, CreditLoopLimitsThroughputPerVc) {
+  // Per-VC throughput is bounded by buffer_depth / credit_round_trip. With
+  // link latency 4 the loop is ~9 cycles, so one class (send VC) measures
+  // depth/9 until the 2-cycle VC turnaround caps it near 0.5:
+  //   depth 1 -> ~1/9, depth 2 -> ~2/9, depth 4 -> ~4/9.
+  auto rate_with_depth = [](int depth) {
+    Config c = Config::paper_baseline();
+    c.router.buffer_depth = depth;
+    c.link_latency = 4;
+    c.nic_queue_packets = 256;
+    Network net(c);
+    const int n = 150;
+    for (int i = 0; i < n; ++i) {
+      EXPECT_TRUE(net.nic(0).inject(core::make_word_packet(2, 0, 1), net.now()));
+    }
+    EXPECT_TRUE(net.drain(10000));
+    Cycle last = 0;
+    for (const auto& p : net.nic(2).received()) last = std::max(last, p.delivered);
+    return static_cast<double>(n) / static_cast<double>(last);
+  };
+  EXPECT_NEAR(rate_with_depth(1), 1.0 / 9.0, 0.02);
+  EXPECT_NEAR(rate_with_depth(2), 2.0 / 9.0, 0.03);
+  EXPECT_NEAR(rate_with_depth(4), 4.0 / 9.0, 0.05);
+}
+
+TEST(Pipeline, BypassIsOneCyclePerHopFasterThanDynamic) {
+  Config c = Config::paper_baseline();
+  c.router.exclusive_scheduled_vc = true;
+  c.router.reservation_frame = 16;
+
+  // Scheduled path latency for 0 -> 15 (4 hops), excluding the NIC phase
+  // wait: slot times say arrival is phase + 1 + hops; delivery adds the
+  // ejection channel + NIC consume.
+  Network net(c);
+  traffic::ScheduledFlow flow(net, 0, 15);
+  flow.start();
+  net.run(16 * 20);
+  ASSERT_GT(flow.received(), 0);
+
+  // Dynamic latency for the same route, measured without the phase wait.
+  Config d = Config::paper_baseline();
+  const Cycle dynamic = one_packet_latency(d, 0, 15);
+
+  // flow.latency() includes up to a frame of NIC hold; network transit via
+  // slot arithmetic = 1 (tile channel) + 4 (bypass hops) + 1 (eject) + ~1.
+  // Compare transit indirectly: scheduled latency minus the NIC hold must
+  // be below the dynamic latency.
+  EXPECT_LT(flow.latency().mean() - 16.0, static_cast<double>(dynamic));
+}
+
+TEST(Pipeline, WormholeNeverInterleavesOnAVc) {
+  // Two sources send multi-flit packets to one destination on the same
+  // class; reassembly asserts contiguity internally, and payload checks
+  // confirm packet integrity here.
+  Network net(Config::paper_baseline());
+  for (int round = 0; round < 30; ++round) {
+    core::Packet a = core::make_packet(5, 0, 4);
+    core::Packet b = core::make_packet(5, 0, 4);
+    for (int i = 0; i < 4; ++i) {
+      a.flit_payloads[static_cast<std::size_t>(i)][0] = 0xaa00u + static_cast<unsigned>(i);
+      b.flit_payloads[static_cast<std::size_t>(i)][0] = 0xbb00u + static_cast<unsigned>(i);
+    }
+    ASSERT_TRUE(net.nic(0).inject(std::move(a), net.now()));
+    ASSERT_TRUE(net.nic(10).inject(std::move(b), net.now()));
+    net.run(3);
+  }
+  ASSERT_TRUE(net.drain(20000));
+  for (const auto& p : net.nic(5).received()) {
+    const std::uint64_t base = p.flit_payloads[0][0] & 0xff00u;
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(p.flit_payloads[static_cast<std::size_t>(i)][0],
+                base + static_cast<unsigned>(i));
+    }
+  }
+}
+
+TEST(Pipeline, ContentionCountersSeeBackpressure) {
+  Network net(Config::paper_baseline());
+  traffic::HarnessOptions opt;
+  opt.injection_rate = 0.6;
+  opt.warmup = 200;
+  opt.measure = 1500;
+  opt.drain_max = 1;
+  traffic::LoadHarness harness(net, opt);
+  harness.run();
+  std::int64_t contention = 0;
+  for (NodeId n = 0; n < net.num_nodes(); ++n) {
+    for (int p = 0; p < topo::kNumPorts; ++p) {
+      contention += net.router_at(n).output(static_cast<topo::Port>(p)).contention_cycles();
+    }
+  }
+  EXPECT_GT(contention, 0);
+}
+
+TEST(Pipeline, EnergyCountersMatchTraffic) {
+  Network net(Config::paper_baseline());
+  ASSERT_TRUE(net.nic(0).inject(core::make_word_packet(15, 0, 1), net.now()));
+  ASSERT_TRUE(net.drain(2000));
+  const auto& p = net.nic(15).received().front();
+  const phys::PowerModel pm(net.config().tech);
+  const auto e = net.energy(pm);
+  EXPECT_EQ(e.hop_events, p.hops);
+  EXPECT_DOUBLE_EQ(e.flit_mm, p.link_mm);
+  // Gated energy for one 64-bit flit over the measured path.
+  const int active = router::kControlBits + 64;
+  const double expected = pm.hop_energy_pj(active) * p.hops +
+                          pm.wire_energy_pj_per_mm(active) * p.link_mm;
+  EXPECT_NEAR(e.total_pj, expected, 1e-6);
+}
+
+}  // namespace
+}  // namespace ocn

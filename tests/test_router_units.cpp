@@ -1,0 +1,159 @@
+// Router building blocks: arbiters, VC allocator, reservation table,
+// VC buffers, flit helpers.
+#include <gtest/gtest.h>
+
+#include "router/arbiter.h"
+#include "router/flit.h"
+#include "router/reservation.h"
+#include "router/vc_allocator.h"
+#include "router/vc_buffer.h"
+
+namespace ocn::router {
+namespace {
+
+TEST(Flit, SizeCodes) {
+  EXPECT_EQ(data_bits_for_code(0), 1);
+  EXPECT_EQ(data_bits_for_code(4), 16);   // the logical-wire flit
+  EXPECT_EQ(data_bits_for_code(8), 256);
+  EXPECT_EQ(size_code_for_bits(1), 0);
+  EXPECT_EQ(size_code_for_bits(16), 4);
+  EXPECT_EQ(size_code_for_bits(17), 5);
+  EXPECT_EQ(size_code_for_bits(256), 8);
+}
+
+TEST(Flit, HeadTailPredicates) {
+  EXPECT_TRUE(is_head(FlitType::kHead));
+  EXPECT_TRUE(is_head(FlitType::kHeadTail));
+  EXPECT_FALSE(is_head(FlitType::kBody));
+  EXPECT_TRUE(is_tail(FlitType::kTail));
+  EXPECT_TRUE(is_tail(FlitType::kHeadTail));
+  EXPECT_FALSE(is_tail(FlitType::kHead));
+}
+
+TEST(RoundRobin, RotatesGrants) {
+  RoundRobinArbiter arb(4);
+  std::vector<bool> all(4, true);
+  EXPECT_EQ(arb.arbitrate(all), 0);
+  EXPECT_EQ(arb.arbitrate(all), 1);
+  EXPECT_EQ(arb.arbitrate(all), 2);
+  EXPECT_EQ(arb.arbitrate(all), 3);
+  EXPECT_EQ(arb.arbitrate(all), 0);
+}
+
+TEST(RoundRobin, SkipsNonRequesters) {
+  RoundRobinArbiter arb(4);
+  EXPECT_EQ(arb.arbitrate({false, false, true, false}), 2);
+  EXPECT_EQ(arb.arbitrate({true, false, true, false}), 0);  // pointer at 3 wraps
+  EXPECT_EQ(arb.arbitrate({false, false, false, false}), -1);
+}
+
+TEST(RoundRobin, FairUnderFullLoad) {
+  RoundRobinArbiter arb(3);
+  std::vector<int> grants(3, 0);
+  std::vector<bool> all(3, true);
+  for (int i = 0; i < 300; ++i) ++grants[static_cast<std::size_t>(arb.arbitrate(all))];
+  for (int g : grants) EXPECT_EQ(g, 100);
+}
+
+TEST(PriorityArb, HighPriorityAlwaysWins) {
+  PriorityArbiter arb(3);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(arb.arbitrate({true, true, true}, {0, 5, 1}), 1);
+  }
+}
+
+TEST(PriorityArb, TiesRotate) {
+  PriorityArbiter arb(3);
+  std::vector<int> grants(3, 0);
+  for (int i = 0; i < 90; ++i) {
+    ++grants[static_cast<std::size_t>(arb.arbitrate({true, true, true}, {2, 2, 2}))];
+  }
+  for (int g : grants) EXPECT_EQ(g, 30);
+}
+
+TEST(VcAllocator, RespectsMask) {
+  VcAllocator a(8, /*enforce_parity=*/false);
+  const VcId v = a.allocate(0b00001100, false);
+  EXPECT_TRUE(v == 2 || v == 3);
+  EXPECT_TRUE(a.is_allocated(v));
+  EXPECT_EQ(a.allocate(0b00000001, false), 0);
+  EXPECT_EQ(a.allocate(0b00000001, false), kInvalidVc);  // now busy
+}
+
+TEST(VcAllocator, ParityDiscipline) {
+  VcAllocator a(8, /*enforce_parity=*/true);
+  // Even request on a both-parities class mask.
+  const VcId even = a.allocate(0b00000011, /*want_odd=*/false);
+  EXPECT_EQ(even, 0);
+  const VcId odd = a.allocate(0b00000011, /*want_odd=*/true);
+  EXPECT_EQ(odd, 1);
+  // Parity exhausted.
+  EXPECT_EQ(a.allocate(0b00000011, false), kInvalidVc);
+  // ignore_parity (ejection port) may take anything free.
+  a.release(1);
+  EXPECT_EQ(a.allocate(0b00000011, /*want_odd=*/false, /*ignore_parity=*/true), 1);
+}
+
+TEST(VcAllocator, ExclusionBlocksScheduledVc) {
+  VcAllocator a(8, false);
+  a.set_excluded(7, true);
+  EXPECT_EQ(a.allocate(0b10000000, false), kInvalidVc);
+  EXPECT_TRUE(a.allocate_exact(7));  // the scheduled path itself may claim it
+  a.release(7);
+}
+
+TEST(VcAllocator, ReleaseMakesVcReusable) {
+  VcAllocator a(4, false);
+  const VcId v = a.allocate(0b1111, false);
+  a.release(v);
+  EXPECT_FALSE(a.is_allocated(v));
+  EXPECT_EQ(a.free_count(), 4);
+}
+
+TEST(Reservation, SlotLifecycle) {
+  ReservationTable t(16);
+  EXPECT_FALSE(t.any());
+  EXPECT_TRUE(t.reserve(3, /*input=*/1, /*vc=*/7));
+  EXPECT_FALSE(t.reserve(3, 2, 7));  // occupied
+  EXPECT_TRUE(t.reserved_at(3));
+  EXPECT_TRUE(t.reserved_at(19));  // cyclic: 19 mod 16 = 3
+  EXPECT_FALSE(t.reserved_at(4));
+  EXPECT_EQ(t.at(3).input, 1);
+  EXPECT_EQ(t.at(3).vc, 7);
+  t.clear(3);
+  EXPECT_FALSE(t.any());
+}
+
+TEST(Reservation, CountsSlots) {
+  ReservationTable t(8);
+  t.reserve(0, 0, 7);
+  t.reserve(4, 1, 7);
+  EXPECT_EQ(t.reserved_count(), 2);
+}
+
+TEST(VcBuffer, FifoWithCapacity) {
+  VcBuffer b(2);
+  EXPECT_TRUE(b.empty());
+  Flit f;
+  f.packet = 1;
+  b.push(f);
+  f.packet = 2;
+  b.push(f);
+  EXPECT_TRUE(b.full());
+  EXPECT_EQ(b.pop().packet, 1);
+  EXPECT_EQ(b.pop().packet, 2);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(VcBuffer, PacketStateResets) {
+  VcBuffer b(4);
+  b.routed = true;
+  b.out_vc = 3;
+  b.out_port = topo::Port::kColNeg;
+  b.reset_packet_state();
+  EXPECT_FALSE(b.routed);
+  EXPECT_EQ(b.out_vc, kInvalidVc);
+}
+
+}  // namespace
+}  // namespace ocn::router

@@ -1,0 +1,269 @@
+// Layered services (section 2.2): messages, logical wires, memory
+// read/write, flow-controlled streams, end-to-end reliable delivery.
+#include <gtest/gtest.h>
+
+#include "core/network.h"
+#include "services/logical_wire.h"
+#include "services/memory_service.h"
+#include "services/message.h"
+#include "services/dma.h"
+#include "services/reliable.h"
+#include "services/stream.h"
+#include "sim/rng.h"
+
+namespace ocn {
+namespace {
+
+using core::Config;
+using core::Network;
+
+TEST(Message, RoundTripVariousSizes) {
+  Rng rng(1);
+  for (int size : {0, 1, 7, 23, 24, 25, 56, 100, 500}) {
+    services::Message m;
+    m.tag = 0xabcd1234;
+    m.bytes.resize(static_cast<std::size_t>(size));
+    for (auto& b : m.bytes) b = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto p = services::pack_message(3, 0, m);
+    const auto back = services::unpack_message(p);
+    ASSERT_TRUE(back.has_value()) << size;
+    EXPECT_EQ(back->tag, m.tag);
+    EXPECT_EQ(back->bytes, m.bytes) << size;
+  }
+}
+
+TEST(Message, CapacityMatchesFlitMath) {
+  EXPECT_EQ(services::message_capacity_bytes(1), 24);
+  EXPECT_EQ(services::message_capacity_bytes(2), 56);
+}
+
+TEST(Message, DeliveredAcrossTheNetworkIntact) {
+  Network net(Config::paper_baseline());
+  services::Message m;
+  m.tag = 42;
+  for (int i = 0; i < 100; ++i) m.bytes.push_back(static_cast<std::uint8_t>(i));
+  ASSERT_TRUE(net.nic(0).inject(services::pack_message(9, 0, m), net.now()));
+  ASSERT_TRUE(net.drain(2000));
+  const auto back = services::unpack_message(net.nic(9).received().front());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->bytes, m.bytes);
+}
+
+TEST(LogicalWire, TransportsStateChanges) {
+  Network net(Config::paper_baseline());
+  services::LogicalWire wire(net, /*src=*/0, /*dst=*/5, /*bundle_id=*/1);
+  wire.drive(0xa5);
+  net.run(50);
+  EXPECT_EQ(wire.output(), 0xa5);
+  wire.drive(0x3c);
+  net.run(50);
+  EXPECT_EQ(wire.output(), 0x3c);
+  EXPECT_EQ(wire.updates_received(), wire.updates_sent());
+  EXPECT_GT(wire.update_latency().mean(), 0.0);
+  EXPECT_LT(wire.update_latency().mean(), 20.0);
+}
+
+TEST(LogicalWire, NoTrafficWithoutChanges) {
+  Network net(Config::paper_baseline());
+  services::LogicalWire wire(net, 0, 5, 1);
+  wire.drive(0x11);
+  net.run(100);
+  EXPECT_EQ(wire.updates_sent(), 1);  // initial state only
+  net.run(100);
+  EXPECT_EQ(wire.updates_sent(), 1);
+}
+
+TEST(LogicalWire, TwoBundlesBetweenSamePairStaySeparate) {
+  Network net(Config::paper_baseline());
+  services::LogicalWire a(net, 0, 5, 1);
+  services::LogicalWire b(net, 0, 5, 2);
+  a.drive(0x01);
+  b.drive(0x02);
+  net.run(100);
+  EXPECT_EQ(a.output(), 0x01);
+  EXPECT_EQ(b.output(), 0x02);
+}
+
+TEST(LogicalWire, UsesSize16Flits) {
+  // The paper's worked example: "a single flit packet with data size 16".
+  Network net(Config::paper_baseline());
+  services::LogicalWire wire(net, 0, 5, 3);
+  wire.drive(0xff);
+  net.run(50);
+  EXPECT_EQ(wire.output(), 0xff);
+  // Size gating shows in energy accounting: active bits per hop are
+  // control + 16 rather than control + 256.
+  const auto e = net.energy(phys::PowerModel(net.config().tech));
+  EXPECT_GT(e.hop_events, 0);
+}
+
+TEST(MemoryService, ReadsAndWrites) {
+  Network net(Config::paper_baseline());
+  services::MemoryServer server(net, /*node=*/10, /*words=*/64);
+  services::MemoryClient client(net, /*node=*/2);
+
+  bool write_done = false;
+  ASSERT_TRUE(client.write(10, 7, 0xfeedface, [&](Cycle) { write_done = true; }));
+  ASSERT_TRUE(net.drain(2000));
+  EXPECT_TRUE(write_done);
+  EXPECT_EQ(server.peek(7), 0xfeedfaceu);
+
+  std::uint64_t got = 0;
+  ASSERT_TRUE(client.read(10, 7, [&](std::uint64_t v, Cycle) { got = v; }));
+  ASSERT_TRUE(net.drain(2000));
+  EXPECT_EQ(got, 0xfeedfaceu);
+  EXPECT_EQ(server.reads_served(), 1);
+  EXPECT_EQ(server.writes_served(), 1);
+  EXPECT_EQ(client.outstanding(), 0);
+}
+
+TEST(MemoryService, ManyOutstandingRequests) {
+  Network net(Config::paper_baseline());
+  services::MemoryServer server(net, 15, 256);
+  services::MemoryClient client(net, 0);
+  int completed = 0;
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    ASSERT_TRUE(client.write(15, i, i * i, [&](Cycle) { ++completed; }));
+  }
+  ASSERT_TRUE(net.drain(20000));
+  EXPECT_EQ(completed, 32);
+  for (std::uint64_t i = 0; i < 32; ++i) EXPECT_EQ(server.peek(i), i * i);
+}
+
+TEST(MemoryService, OutOfRangeAddressReturnsPoison) {
+  Network net(Config::paper_baseline());
+  services::MemoryServer server(net, 10, 8);
+  services::MemoryClient client(net, 1);
+  std::uint64_t got = 0;
+  ASSERT_TRUE(client.read(10, 99, [&](std::uint64_t v, Cycle) { got = v; }));
+  ASSERT_TRUE(net.drain(2000));
+  EXPECT_EQ(got, ~std::uint64_t{0});
+}
+
+TEST(Stream, InOrderDeliveryWithWindowedFlowControl) {
+  Network net(Config::paper_baseline());
+  services::Stream stream(net, /*src=*/0, /*dst=*/15, /*window=*/4);
+  std::vector<std::uint8_t> data;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) data.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+  stream.push(data);
+  net.run(20000);
+  EXPECT_EQ(stream.sink_buffer(), data);
+  EXPECT_EQ(stream.sequence_errors(), 0);
+  EXPECT_EQ(stream.packets_received(), stream.packets_sent());
+}
+
+TEST(Stream, WindowBoundsInFlightPackets) {
+  Network net(Config::paper_baseline());
+  services::Stream stream(net, 0, 15, /*window=*/2);
+  stream.push(std::vector<std::uint8_t>(500, 0x55));
+  for (int i = 0; i < 100; ++i) {
+    net.step();
+    EXPECT_LE(stream.in_flight(), 2);
+  }
+}
+
+TEST(Dma, TransfersBlockAndCompletes) {
+  Network net(Config::paper_baseline());
+  services::MemoryServer server(net, 15, 1024);
+  services::DmaEngine dma(net, 2, /*window=*/4);
+  std::vector<std::uint64_t> block;
+  for (std::uint64_t i = 0; i < 100; ++i) block.push_back(i * 3 + 1);
+  Cycle elapsed = 0;
+  ASSERT_TRUE(dma.start(15, 200, block, [&](Cycle e) { elapsed = e; }));
+  EXPECT_TRUE(dma.busy());
+  EXPECT_FALSE(dma.start(15, 0, {1}, nullptr));  // one transfer at a time
+  ASSERT_TRUE(net.drain(50000));
+  EXPECT_FALSE(dma.busy());
+  EXPECT_GT(elapsed, 0);
+  EXPECT_EQ(dma.words_transferred(), 100);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(server.peek(200 + i), i * 3 + 1);
+}
+
+TEST(Dma, WindowBoundsOutstandingWrites) {
+  Network net(Config::paper_baseline());
+  services::MemoryServer server(net, 15, 64);
+  services::DmaEngine dma(net, 0, /*window=*/2);
+  ASSERT_TRUE(dma.start(15, 0, std::vector<std::uint64_t>(32, 5), nullptr));
+  // Outstanding writes never exceed the window; peek via server progress.
+  ASSERT_TRUE(net.drain(50000));
+  EXPECT_EQ(server.writes_served(), 32);
+}
+
+TEST(Dma, BackToBackTransfers) {
+  Network net(Config::paper_baseline());
+  services::MemoryServer server(net, 15, 64);
+  services::DmaEngine dma(net, 1);
+  int completions = 0;
+  ASSERT_TRUE(dma.start(15, 0, {1, 2, 3}, [&](Cycle) { ++completions; }));
+  ASSERT_TRUE(net.drain(5000));
+  ASSERT_TRUE(dma.start(15, 8, {4, 5, 6}, [&](Cycle) { ++completions; }));
+  ASSERT_TRUE(net.drain(5000));
+  EXPECT_EQ(completions, 2);
+  EXPECT_EQ(server.peek(1), 2u);
+  EXPECT_EQ(server.peek(9), 5u);
+  EXPECT_EQ(dma.transfer_cycles().count(), 2);
+}
+
+TEST(Reliable, Crc32KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926.
+  const char* s = "123456789";
+  EXPECT_EQ(services::crc32(reinterpret_cast<const std::uint8_t*>(s), 9), 0xcbf43926u);
+}
+
+TEST(Reliable, DeliversInOrderWithoutFaults) {
+  Network net(Config::paper_baseline());
+  services::ReliableChannel ch(net, 0, 9);
+  for (std::uint64_t i = 0; i < 50; ++i) ch.send(1000 + i);
+  net.run(5000);
+  ASSERT_EQ(ch.received().size(), 50u);
+  for (std::uint64_t i = 0; i < 50; ++i) EXPECT_EQ(ch.received()[i], 1000 + i);
+  EXPECT_TRUE(ch.all_acknowledged());
+  EXPECT_EQ(ch.retransmissions(), 0);
+  EXPECT_EQ(ch.crc_rejects(), 0);
+}
+
+TEST(Reliable, RecoversFromLinkCorruptionByRetry) {
+  Config c = Config::paper_baseline();
+  c.fault_layer = true;
+  Network net(c);
+  // Put an unconfigured stuck-at fault on 0 -> 2's first link (row+ out of
+  // node 0 reaches node 2 in the folded torus).
+  auto* fault = net.link_fault(0, topo::Port::kRowPos);
+  ASSERT_NE(fault, nullptr);
+  // Wire 130 lies in payload word 2 — the CRC-covered data word (a fault on
+  // the header/magic word would make the packet unrecognizable instead).
+  fault->link().inject_stuck_at(130, true);
+
+  services::ReliableChannel ch(net, 0, 2, /*retry_timeout=*/64);
+  ch.send(0);  // all-zero word: guaranteed to corrupt through the stuck-at-1
+  net.run(500);
+  EXPECT_GT(ch.crc_rejects(), 0);
+  EXPECT_TRUE(ch.received().empty());  // still corrupting every try
+
+  // Field repair: blow the fuses; the pending retry now succeeds.
+  ASSERT_TRUE(fault->link().configure_steering());
+  net.run(500);
+  ASSERT_EQ(ch.received().size(), 1u);
+  EXPECT_EQ(ch.received()[0], 0u);
+  EXPECT_GT(ch.retransmissions(), 0);
+  EXPECT_TRUE(ch.all_acknowledged());
+}
+
+TEST(Reliable, SparedLinkNeedsNoRetries) {
+  Config c = Config::paper_baseline();
+  c.fault_layer = true;
+  Network net(c);
+  auto* fault = net.link_fault(0, topo::Port::kRowPos);
+  fault->link().inject_stuck_at(130, true);
+  ASSERT_TRUE(fault->link().configure_steering());
+  services::ReliableChannel ch(net, 0, 2);
+  for (std::uint64_t i = 0; i < 20; ++i) ch.send(i);
+  net.run(3000);
+  EXPECT_EQ(ch.received().size(), 20u);
+  EXPECT_EQ(ch.retransmissions(), 0);
+  EXPECT_EQ(ch.crc_rejects(), 0);
+}
+
+}  // namespace
+}  // namespace ocn

@@ -1,0 +1,188 @@
+// Substrate: RNG, statistics, two-phase kernel / channels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/kernel.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+
+namespace ocn {
+namespace {
+
+TEST(Rng, DeterministicPerSeedAndStream) {
+  Rng a(123, 0), b(123, 0), c(123, 1), d(124, 0);
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a.next_u64();
+    EXPECT_EQ(x, b.next_u64());
+    EXPECT_NE(x, c.next_u64());
+    EXPECT_NE(x, d.next_u64());
+  }
+}
+
+TEST(Rng, BoundedValuesStayInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+    const auto v = r.next_range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng r(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+  EXPECT_FALSE(r.bernoulli(0.0));
+  EXPECT_TRUE(r.bernoulli(1.0));
+}
+
+TEST(Rng, UniformBelowIsRoughlyUniform) {
+  Rng r(5);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[r.next_below(8)];
+  for (int c : counts) EXPECT_NEAR(c, n / 8, n / 8 * 0.1);
+}
+
+TEST(Accumulator, MeanVarianceMinMax) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_EQ(a.count(), 8);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+}
+
+TEST(Accumulator, MergeEqualsCombinedStream) {
+  Accumulator a, b, all;
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.next_double() * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Histogram, PercentilesAtBinResolution) {
+  Histogram h(100, 1.0);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_NEAR(h.percentile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.percentile(0.99), 99.0, 1.0);
+  EXPECT_NEAR(h.percentile(1.0), 100.0, 1.0);
+}
+
+TEST(Histogram, OverflowBinCatchesOutliers) {
+  Histogram h(10, 1.0);
+  h.add(5.0);
+  h.add(1e9);
+  EXPECT_EQ(h.overflow(), 1);
+  EXPECT_EQ(h.count(), 2);
+}
+
+TEST(Channel, DelaysValueByLatency) {
+  Channel<int> ch(3);
+  Kernel k;
+  k.add(&ch);
+  ch.send(42);
+  for (int i = 0; i < 2; ++i) {
+    k.tick();
+    EXPECT_FALSE(ch.receive().has_value()) << "cycle " << i;
+  }
+  k.tick();
+  ASSERT_TRUE(ch.receive().has_value());
+  EXPECT_EQ(*ch.receive(), 42);
+  k.tick();
+  EXPECT_FALSE(ch.receive().has_value());
+}
+
+TEST(Channel, LatencyOneIsNextCycle) {
+  Channel<int> ch(1);
+  ch.send(7);
+  ch.advance();
+  ASSERT_TRUE(ch.receive().has_value());
+  EXPECT_EQ(*ch.receive(), 7);
+}
+
+TEST(Channel, TakeConsumesValue) {
+  Channel<int> ch(1);
+  ch.send(9);
+  ch.advance();
+  EXPECT_EQ(ch.take().value(), 9);
+  EXPECT_FALSE(ch.receive().has_value());
+}
+
+TEST(Channel, BackToBackValuesFlowAtFullRate) {
+  Channel<int> ch(2);
+  Kernel k;
+  k.add(&ch);
+  std::vector<int> got;
+  for (int i = 0; i < 10; ++i) {
+    ch.send(i);
+    k.tick();
+    if (auto v = ch.take()) got.push_back(*v);
+  }
+  k.tick();
+  if (auto v = ch.take()) got.push_back(*v);
+  k.tick();
+  if (auto v = ch.take()) got.push_back(*v);
+  ASSERT_EQ(got.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+}
+
+struct Counter final : Clockable {
+  Cycle last = -1;
+  int steps = 0;
+  void step(Cycle now) override {
+    EXPECT_EQ(now, last + 1);  // strictly sequential cycles
+    last = now;
+    ++steps;
+  }
+};
+
+TEST(Kernel, StepsComponentsEveryCycleInOrder) {
+  Kernel k;
+  Counter a, b;
+  k.add(&a);
+  k.add(&b);
+  k.run(25);
+  EXPECT_EQ(a.steps, 25);
+  EXPECT_EQ(b.steps, 25);
+  EXPECT_EQ(k.now(), 25);
+}
+
+TEST(DutyCounter, ComputesAverageDuty) {
+  DutyCounter d(4);
+  d.record_toggle(0, 50);
+  d.record_toggle(1, 100);
+  // wires 2,3 idle
+  EXPECT_DOUBLE_EQ(d.duty_factor(100), 150.0 / 400.0);
+  EXPECT_EQ(d.total_toggles(), 150);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 12345 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ocn

@@ -1,0 +1,96 @@
+// Flit tracing: packet journeys reconstruct the route, bypass traversals
+// are flagged, CSV renders, disable works.
+#include <gtest/gtest.h>
+
+#include "core/network.h"
+#include "traffic/scheduled.h"
+
+namespace ocn {
+namespace {
+
+using core::Config;
+using core::Network;
+using core::TraceRecorder;
+
+TEST(Trace, JourneyMatchesComputedRoute) {
+  Network net(Config::paper_baseline());
+  TraceRecorder rec;
+  net.enable_tracing(&rec);
+  ASSERT_TRUE(net.nic(0).inject(core::make_word_packet(15, 0, 0x7ace), net.now()));
+  ASSERT_TRUE(net.drain(2000));
+  const auto& delivered = net.nic(15).received().front();
+  const auto journey = rec.packet_journey(delivered.id);
+  // One event per router traversal: hops link sends + the final ejection.
+  ASSERT_EQ(journey.size(), static_cast<std::size_t>(delivered.hops + 1));
+  // The traced nodes match the route computer's walk.
+  const auto nodes = net.routes().walk(0, net.routes().compute(0, 15));
+  for (std::size_t i = 0; i < journey.size(); ++i) {
+    EXPECT_EQ(journey[i].node, nodes[i]) << "hop " << i;
+    EXPECT_FALSE(journey[i].bypass);
+  }
+  // Strictly increasing cycles, final event is the tile ejection.
+  for (std::size_t i = 1; i < journey.size(); ++i) {
+    EXPECT_GT(journey[i].cycle, journey[i - 1].cycle);
+  }
+  EXPECT_EQ(journey.back().port, topo::Port::kTile);
+}
+
+TEST(Trace, BypassTraversalsAreFlagged) {
+  Config c = Config::paper_baseline();
+  c.router.exclusive_scheduled_vc = true;
+  c.router.reservation_frame = 16;
+  Network net(c);
+  TraceRecorder rec;
+  net.enable_tracing(&rec);
+  traffic::ScheduledFlow flow(net, 0, 5);
+  flow.start();
+  net.run(16 * 5);
+  int bypass = 0;
+  int dynamic = 0;
+  for (const auto& e : rec.events()) {
+    (e.bypass ? bypass : dynamic)++;
+  }
+  EXPECT_GT(bypass, 0);
+  EXPECT_EQ(dynamic, 0);  // nothing else is running
+}
+
+TEST(Trace, MultiFlitPacketsTraceEveryFlit) {
+  Network net(Config::paper_baseline());
+  TraceRecorder rec;
+  net.enable_tracing(&rec);
+  ASSERT_TRUE(net.nic(0).inject(core::make_packet(2, 0, 3), net.now()));
+  ASSERT_TRUE(net.drain(2000));
+  const auto& p = net.nic(2).received().front();
+  const auto journey = rec.packet_journey(p.id);
+  // 3 flits x (hops + ejection) events.
+  EXPECT_EQ(journey.size(), static_cast<std::size_t>(3 * (p.hops + 1)));
+}
+
+TEST(Trace, CsvRendersOneLinePerEvent) {
+  Network net(Config::paper_baseline());
+  TraceRecorder rec;
+  net.enable_tracing(&rec);
+  ASSERT_TRUE(net.nic(0).inject(core::make_word_packet(2, 0, 1), net.now()));
+  ASSERT_TRUE(net.drain(2000));
+  const std::string csv = rec.to_csv();
+  const auto lines = static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(lines, rec.events().size() + 1);  // header + rows
+  EXPECT_NE(csv.find("cycle,node,port"), std::string::npos);
+}
+
+TEST(Trace, DisableStopsRecording) {
+  Network net(Config::paper_baseline());
+  TraceRecorder rec;
+  net.enable_tracing(&rec);
+  ASSERT_TRUE(net.nic(0).inject(core::make_word_packet(2, 0, 1), net.now()));
+  ASSERT_TRUE(net.drain(2000));
+  const auto count = rec.events().size();
+  EXPECT_GT(count, 0u);
+  net.enable_tracing(nullptr);
+  ASSERT_TRUE(net.nic(0).inject(core::make_word_packet(2, 0, 1), net.now()));
+  ASSERT_TRUE(net.drain(2000));
+  EXPECT_EQ(rec.events().size(), count);
+}
+
+}  // namespace
+}  // namespace ocn
