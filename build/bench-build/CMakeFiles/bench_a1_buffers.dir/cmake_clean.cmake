@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a1_buffers"
+  "../bench/bench_a1_buffers.pdb"
+  "CMakeFiles/bench_a1_buffers.dir/bench_a1_buffers.cpp.o"
+  "CMakeFiles/bench_a1_buffers.dir/bench_a1_buffers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a2_vcs"
+  "../bench/bench_a2_vcs.pdb"
+  "CMakeFiles/bench_a2_vcs.dir/bench_a2_vcs.cpp.o"
+  "CMakeFiles/bench_a2_vcs.dir/bench_a2_vcs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_vcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

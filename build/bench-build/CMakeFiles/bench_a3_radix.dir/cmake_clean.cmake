@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a3_radix"
+  "../bench/bench_a3_radix.pdb"
+  "CMakeFiles/bench_a3_radix.dir/bench_a3_radix.cpp.o"
+  "CMakeFiles/bench_a3_radix.dir/bench_a3_radix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_radix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a4_credit_loop"
+  "../bench/bench_a4_credit_loop.pdb"
+  "CMakeFiles/bench_a4_credit_loop.dir/bench_a4_credit_loop.cpp.o"
+  "CMakeFiles/bench_a4_credit_loop.dir/bench_a4_credit_loop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_credit_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

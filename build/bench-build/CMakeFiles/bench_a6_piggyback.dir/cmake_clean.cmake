@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a6_piggyback"
+  "../bench/bench_a6_piggyback.pdb"
+  "CMakeFiles/bench_a6_piggyback.dir/bench_a6_piggyback.cpp.o"
+  "CMakeFiles/bench_a6_piggyback.dir/bench_a6_piggyback.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_piggyback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a7_speculation"
+  "../bench/bench_a7_speculation.pdb"
+  "CMakeFiles/bench_a7_speculation.dir/bench_a7_speculation.cpp.o"
+  "CMakeFiles/bench_a7_speculation.dir/bench_a7_speculation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a7_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

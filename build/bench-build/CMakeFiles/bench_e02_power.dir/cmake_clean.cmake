@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e02_power"
+  "../bench/bench_e02_power.pdb"
+  "CMakeFiles/bench_e02_power.dir/bench_e02_power.cpp.o"
+  "CMakeFiles/bench_e02_power.dir/bench_e02_power.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e02_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e03_bisection"
+  "../bench/bench_e03_bisection.pdb"
+  "CMakeFiles/bench_e03_bisection.dir/bench_e03_bisection.cpp.o"
+  "CMakeFiles/bench_e03_bisection.dir/bench_e03_bisection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e03_bisection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e04_wire_latency"
+  "../bench/bench_e04_wire_latency.pdb"
+  "CMakeFiles/bench_e04_wire_latency.dir/bench_e04_wire_latency.cpp.o"
+  "CMakeFiles/bench_e04_wire_latency.dir/bench_e04_wire_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e04_wire_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e05_logical_wire"
+  "../bench/bench_e05_logical_wire.pdb"
+  "CMakeFiles/bench_e05_logical_wire.dir/bench_e05_logical_wire.cpp.o"
+  "CMakeFiles/bench_e05_logical_wire.dir/bench_e05_logical_wire.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e05_logical_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e06_reservation"
+  "../bench/bench_e06_reservation.pdb"
+  "CMakeFiles/bench_e06_reservation.dir/bench_e06_reservation.cpp.o"
+  "CMakeFiles/bench_e06_reservation.dir/bench_e06_reservation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e06_reservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

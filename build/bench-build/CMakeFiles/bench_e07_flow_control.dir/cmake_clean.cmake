@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e07_flow_control"
+  "../bench/bench_e07_flow_control.pdb"
+  "CMakeFiles/bench_e07_flow_control.dir/bench_e07_flow_control.cpp.o"
+  "CMakeFiles/bench_e07_flow_control.dir/bench_e07_flow_control.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e07_flow_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

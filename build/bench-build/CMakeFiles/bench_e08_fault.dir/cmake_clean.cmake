@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e08_fault"
+  "../bench/bench_e08_fault.pdb"
+  "CMakeFiles/bench_e08_fault.dir/bench_e08_fault.cpp.o"
+  "CMakeFiles/bench_e08_fault.dir/bench_e08_fault.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e08_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e09_duty"
+  "../bench/bench_e09_duty.pdb"
+  "CMakeFiles/bench_e09_duty.dir/bench_e09_duty.cpp.o"
+  "CMakeFiles/bench_e09_duty.dir/bench_e09_duty.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e09_duty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

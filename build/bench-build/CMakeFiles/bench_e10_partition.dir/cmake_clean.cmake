@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e10_partition"
+  "../bench/bench_e10_partition.pdb"
+  "CMakeFiles/bench_e10_partition.dir/bench_e10_partition.cpp.o"
+  "CMakeFiles/bench_e10_partition.dir/bench_e10_partition.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e11_serdes"
+  "../bench/bench_e11_serdes.pdb"
+  "CMakeFiles/bench_e11_serdes.dir/bench_e11_serdes.cpp.o"
+  "CMakeFiles/bench_e11_serdes.dir/bench_e11_serdes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_serdes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e12_size_gating"
+  "../bench/bench_e12_size_gating.pdb"
+  "CMakeFiles/bench_e12_size_gating.dir/bench_e12_size_gating.cpp.o"
+  "CMakeFiles/bench_e12_size_gating.dir/bench_e12_size_gating.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_size_gating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

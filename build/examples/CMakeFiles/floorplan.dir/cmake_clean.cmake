@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floorplan.dir/floorplan.cpp.o"
+  "CMakeFiles/floorplan.dir/floorplan.cpp.o.d"
+  "floorplan"
+  "floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

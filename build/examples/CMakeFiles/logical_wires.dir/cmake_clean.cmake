@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logical_wires.dir/logical_wires.cpp.o"
+  "CMakeFiles/logical_wires.dir/logical_wires.cpp.o.d"
+  "logical_wires"
+  "logical_wires.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logical_wires.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

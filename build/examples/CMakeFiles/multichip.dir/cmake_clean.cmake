@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multichip.dir/multichip.cpp.o"
+  "CMakeFiles/multichip.dir/multichip.cpp.o.d"
+  "multichip"
+  "multichip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multichip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

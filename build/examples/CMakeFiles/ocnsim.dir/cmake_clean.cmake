@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocnsim.dir/ocnsim.cpp.o"
+  "CMakeFiles/ocnsim.dir/ocnsim.cpp.o.d"
+  "ocnsim"
+  "ocnsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocnsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/ocn_core.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/ocn_core.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/deflection.cpp" "src/CMakeFiles/ocn_core.dir/core/deflection.cpp.o" "gcc" "src/CMakeFiles/ocn_core.dir/core/deflection.cpp.o.d"
+  "/root/repo/src/core/fault.cpp" "src/CMakeFiles/ocn_core.dir/core/fault.cpp.o" "gcc" "src/CMakeFiles/ocn_core.dir/core/fault.cpp.o.d"
+  "/root/repo/src/core/interface.cpp" "src/CMakeFiles/ocn_core.dir/core/interface.cpp.o" "gcc" "src/CMakeFiles/ocn_core.dir/core/interface.cpp.o.d"
+  "/root/repo/src/core/network.cpp" "src/CMakeFiles/ocn_core.dir/core/network.cpp.o" "gcc" "src/CMakeFiles/ocn_core.dir/core/network.cpp.o.d"
+  "/root/repo/src/core/nic.cpp" "src/CMakeFiles/ocn_core.dir/core/nic.cpp.o" "gcc" "src/CMakeFiles/ocn_core.dir/core/nic.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/CMakeFiles/ocn_core.dir/core/partition.cpp.o" "gcc" "src/CMakeFiles/ocn_core.dir/core/partition.cpp.o.d"
+  "/root/repo/src/core/registers.cpp" "src/CMakeFiles/ocn_core.dir/core/registers.cpp.o" "gcc" "src/CMakeFiles/ocn_core.dir/core/registers.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/CMakeFiles/ocn_core.dir/core/trace.cpp.o" "gcc" "src/CMakeFiles/ocn_core.dir/core/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocn_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocn_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocn_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

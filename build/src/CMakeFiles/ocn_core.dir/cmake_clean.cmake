@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocn_core.dir/core/config.cpp.o"
+  "CMakeFiles/ocn_core.dir/core/config.cpp.o.d"
+  "CMakeFiles/ocn_core.dir/core/deflection.cpp.o"
+  "CMakeFiles/ocn_core.dir/core/deflection.cpp.o.d"
+  "CMakeFiles/ocn_core.dir/core/fault.cpp.o"
+  "CMakeFiles/ocn_core.dir/core/fault.cpp.o.d"
+  "CMakeFiles/ocn_core.dir/core/interface.cpp.o"
+  "CMakeFiles/ocn_core.dir/core/interface.cpp.o.d"
+  "CMakeFiles/ocn_core.dir/core/network.cpp.o"
+  "CMakeFiles/ocn_core.dir/core/network.cpp.o.d"
+  "CMakeFiles/ocn_core.dir/core/nic.cpp.o"
+  "CMakeFiles/ocn_core.dir/core/nic.cpp.o.d"
+  "CMakeFiles/ocn_core.dir/core/partition.cpp.o"
+  "CMakeFiles/ocn_core.dir/core/partition.cpp.o.d"
+  "CMakeFiles/ocn_core.dir/core/registers.cpp.o"
+  "CMakeFiles/ocn_core.dir/core/registers.cpp.o.d"
+  "CMakeFiles/ocn_core.dir/core/trace.cpp.o"
+  "CMakeFiles/ocn_core.dir/core/trace.cpp.o.d"
+  "libocn_core.a"
+  "libocn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

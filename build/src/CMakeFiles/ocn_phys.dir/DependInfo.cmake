@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phys/area_model.cpp" "src/CMakeFiles/ocn_phys.dir/phys/area_model.cpp.o" "gcc" "src/CMakeFiles/ocn_phys.dir/phys/area_model.cpp.o.d"
+  "/root/repo/src/phys/die_cost.cpp" "src/CMakeFiles/ocn_phys.dir/phys/die_cost.cpp.o" "gcc" "src/CMakeFiles/ocn_phys.dir/phys/die_cost.cpp.o.d"
+  "/root/repo/src/phys/power_model.cpp" "src/CMakeFiles/ocn_phys.dir/phys/power_model.cpp.o" "gcc" "src/CMakeFiles/ocn_phys.dir/phys/power_model.cpp.o.d"
+  "/root/repo/src/phys/serialization.cpp" "src/CMakeFiles/ocn_phys.dir/phys/serialization.cpp.o" "gcc" "src/CMakeFiles/ocn_phys.dir/phys/serialization.cpp.o.d"
+  "/root/repo/src/phys/signaling.cpp" "src/CMakeFiles/ocn_phys.dir/phys/signaling.cpp.o" "gcc" "src/CMakeFiles/ocn_phys.dir/phys/signaling.cpp.o.d"
+  "/root/repo/src/phys/technology.cpp" "src/CMakeFiles/ocn_phys.dir/phys/technology.cpp.o" "gcc" "src/CMakeFiles/ocn_phys.dir/phys/technology.cpp.o.d"
+  "/root/repo/src/phys/wire_model.cpp" "src/CMakeFiles/ocn_phys.dir/phys/wire_model.cpp.o" "gcc" "src/CMakeFiles/ocn_phys.dir/phys/wire_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

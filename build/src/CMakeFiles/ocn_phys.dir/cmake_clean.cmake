@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocn_phys.dir/phys/area_model.cpp.o"
+  "CMakeFiles/ocn_phys.dir/phys/area_model.cpp.o.d"
+  "CMakeFiles/ocn_phys.dir/phys/die_cost.cpp.o"
+  "CMakeFiles/ocn_phys.dir/phys/die_cost.cpp.o.d"
+  "CMakeFiles/ocn_phys.dir/phys/power_model.cpp.o"
+  "CMakeFiles/ocn_phys.dir/phys/power_model.cpp.o.d"
+  "CMakeFiles/ocn_phys.dir/phys/serialization.cpp.o"
+  "CMakeFiles/ocn_phys.dir/phys/serialization.cpp.o.d"
+  "CMakeFiles/ocn_phys.dir/phys/signaling.cpp.o"
+  "CMakeFiles/ocn_phys.dir/phys/signaling.cpp.o.d"
+  "CMakeFiles/ocn_phys.dir/phys/technology.cpp.o"
+  "CMakeFiles/ocn_phys.dir/phys/technology.cpp.o.d"
+  "CMakeFiles/ocn_phys.dir/phys/wire_model.cpp.o"
+  "CMakeFiles/ocn_phys.dir/phys/wire_model.cpp.o.d"
+  "libocn_phys.a"
+  "libocn_phys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocn_phys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

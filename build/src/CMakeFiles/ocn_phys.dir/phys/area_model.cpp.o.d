@@ -1,0 +1,3 @@
+src/CMakeFiles/ocn_phys.dir/phys/area_model.cpp.o: \
+ /root/repo/src/phys/area_model.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/phys/area_model.h /root/repo/src/phys/technology.h

@@ -1,0 +1,4 @@
+src/CMakeFiles/ocn_phys.dir/phys/signaling.cpp.o: \
+ /root/repo/src/phys/signaling.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/phys/signaling.h /root/repo/src/phys/technology.h \
+ /root/repo/src/phys/wire_model.h

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/router/arbiter.cpp" "src/CMakeFiles/ocn_router.dir/router/arbiter.cpp.o" "gcc" "src/CMakeFiles/ocn_router.dir/router/arbiter.cpp.o.d"
+  "/root/repo/src/router/flit.cpp" "src/CMakeFiles/ocn_router.dir/router/flit.cpp.o" "gcc" "src/CMakeFiles/ocn_router.dir/router/flit.cpp.o.d"
+  "/root/repo/src/router/input_controller.cpp" "src/CMakeFiles/ocn_router.dir/router/input_controller.cpp.o" "gcc" "src/CMakeFiles/ocn_router.dir/router/input_controller.cpp.o.d"
+  "/root/repo/src/router/output_controller.cpp" "src/CMakeFiles/ocn_router.dir/router/output_controller.cpp.o" "gcc" "src/CMakeFiles/ocn_router.dir/router/output_controller.cpp.o.d"
+  "/root/repo/src/router/reservation.cpp" "src/CMakeFiles/ocn_router.dir/router/reservation.cpp.o" "gcc" "src/CMakeFiles/ocn_router.dir/router/reservation.cpp.o.d"
+  "/root/repo/src/router/router.cpp" "src/CMakeFiles/ocn_router.dir/router/router.cpp.o" "gcc" "src/CMakeFiles/ocn_router.dir/router/router.cpp.o.d"
+  "/root/repo/src/router/vc_allocator.cpp" "src/CMakeFiles/ocn_router.dir/router/vc_allocator.cpp.o" "gcc" "src/CMakeFiles/ocn_router.dir/router/vc_allocator.cpp.o.d"
+  "/root/repo/src/router/vc_buffer.cpp" "src/CMakeFiles/ocn_router.dir/router/vc_buffer.cpp.o" "gcc" "src/CMakeFiles/ocn_router.dir/router/vc_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocn_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocn_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

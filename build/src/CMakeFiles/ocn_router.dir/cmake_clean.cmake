@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocn_router.dir/router/arbiter.cpp.o"
+  "CMakeFiles/ocn_router.dir/router/arbiter.cpp.o.d"
+  "CMakeFiles/ocn_router.dir/router/flit.cpp.o"
+  "CMakeFiles/ocn_router.dir/router/flit.cpp.o.d"
+  "CMakeFiles/ocn_router.dir/router/input_controller.cpp.o"
+  "CMakeFiles/ocn_router.dir/router/input_controller.cpp.o.d"
+  "CMakeFiles/ocn_router.dir/router/output_controller.cpp.o"
+  "CMakeFiles/ocn_router.dir/router/output_controller.cpp.o.d"
+  "CMakeFiles/ocn_router.dir/router/reservation.cpp.o"
+  "CMakeFiles/ocn_router.dir/router/reservation.cpp.o.d"
+  "CMakeFiles/ocn_router.dir/router/router.cpp.o"
+  "CMakeFiles/ocn_router.dir/router/router.cpp.o.d"
+  "CMakeFiles/ocn_router.dir/router/vc_allocator.cpp.o"
+  "CMakeFiles/ocn_router.dir/router/vc_allocator.cpp.o.d"
+  "CMakeFiles/ocn_router.dir/router/vc_buffer.cpp.o"
+  "CMakeFiles/ocn_router.dir/router/vc_buffer.cpp.o.d"
+  "libocn_router.a"
+  "libocn_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocn_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/route_computer.cpp" "src/CMakeFiles/ocn_routing.dir/routing/route_computer.cpp.o" "gcc" "src/CMakeFiles/ocn_routing.dir/routing/route_computer.cpp.o.d"
+  "/root/repo/src/routing/source_route.cpp" "src/CMakeFiles/ocn_routing.dir/routing/source_route.cpp.o" "gcc" "src/CMakeFiles/ocn_routing.dir/routing/source_route.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocn_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocn_routing.dir/routing/route_computer.cpp.o"
+  "CMakeFiles/ocn_routing.dir/routing/route_computer.cpp.o.d"
+  "CMakeFiles/ocn_routing.dir/routing/source_route.cpp.o"
+  "CMakeFiles/ocn_routing.dir/routing/source_route.cpp.o.d"
+  "libocn_routing.a"
+  "libocn_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocn_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

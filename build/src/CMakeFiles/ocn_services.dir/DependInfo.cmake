@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/dma.cpp" "src/CMakeFiles/ocn_services.dir/services/dma.cpp.o" "gcc" "src/CMakeFiles/ocn_services.dir/services/dma.cpp.o.d"
+  "/root/repo/src/services/gateway.cpp" "src/CMakeFiles/ocn_services.dir/services/gateway.cpp.o" "gcc" "src/CMakeFiles/ocn_services.dir/services/gateway.cpp.o.d"
+  "/root/repo/src/services/logical_wire.cpp" "src/CMakeFiles/ocn_services.dir/services/logical_wire.cpp.o" "gcc" "src/CMakeFiles/ocn_services.dir/services/logical_wire.cpp.o.d"
+  "/root/repo/src/services/memory_service.cpp" "src/CMakeFiles/ocn_services.dir/services/memory_service.cpp.o" "gcc" "src/CMakeFiles/ocn_services.dir/services/memory_service.cpp.o.d"
+  "/root/repo/src/services/message.cpp" "src/CMakeFiles/ocn_services.dir/services/message.cpp.o" "gcc" "src/CMakeFiles/ocn_services.dir/services/message.cpp.o.d"
+  "/root/repo/src/services/reliable.cpp" "src/CMakeFiles/ocn_services.dir/services/reliable.cpp.o" "gcc" "src/CMakeFiles/ocn_services.dir/services/reliable.cpp.o.d"
+  "/root/repo/src/services/stream.cpp" "src/CMakeFiles/ocn_services.dir/services/stream.cpp.o" "gcc" "src/CMakeFiles/ocn_services.dir/services/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocn_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocn_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocn_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

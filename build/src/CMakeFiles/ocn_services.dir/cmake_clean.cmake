@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocn_services.dir/services/dma.cpp.o"
+  "CMakeFiles/ocn_services.dir/services/dma.cpp.o.d"
+  "CMakeFiles/ocn_services.dir/services/gateway.cpp.o"
+  "CMakeFiles/ocn_services.dir/services/gateway.cpp.o.d"
+  "CMakeFiles/ocn_services.dir/services/logical_wire.cpp.o"
+  "CMakeFiles/ocn_services.dir/services/logical_wire.cpp.o.d"
+  "CMakeFiles/ocn_services.dir/services/memory_service.cpp.o"
+  "CMakeFiles/ocn_services.dir/services/memory_service.cpp.o.d"
+  "CMakeFiles/ocn_services.dir/services/message.cpp.o"
+  "CMakeFiles/ocn_services.dir/services/message.cpp.o.d"
+  "CMakeFiles/ocn_services.dir/services/reliable.cpp.o"
+  "CMakeFiles/ocn_services.dir/services/reliable.cpp.o.d"
+  "CMakeFiles/ocn_services.dir/services/stream.cpp.o"
+  "CMakeFiles/ocn_services.dir/services/stream.cpp.o.d"
+  "libocn_services.a"
+  "libocn_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocn_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

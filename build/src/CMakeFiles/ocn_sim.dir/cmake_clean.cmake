@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocn_sim.dir/sim/kernel.cpp.o"
+  "CMakeFiles/ocn_sim.dir/sim/kernel.cpp.o.d"
+  "CMakeFiles/ocn_sim.dir/sim/log.cpp.o"
+  "CMakeFiles/ocn_sim.dir/sim/log.cpp.o.d"
+  "CMakeFiles/ocn_sim.dir/sim/rng.cpp.o"
+  "CMakeFiles/ocn_sim.dir/sim/rng.cpp.o.d"
+  "CMakeFiles/ocn_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/ocn_sim.dir/sim/stats.cpp.o.d"
+  "libocn_sim.a"
+  "libocn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

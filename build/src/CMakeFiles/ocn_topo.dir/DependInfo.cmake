@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/folded_torus.cpp" "src/CMakeFiles/ocn_topo.dir/topo/folded_torus.cpp.o" "gcc" "src/CMakeFiles/ocn_topo.dir/topo/folded_torus.cpp.o.d"
+  "/root/repo/src/topo/mesh.cpp" "src/CMakeFiles/ocn_topo.dir/topo/mesh.cpp.o" "gcc" "src/CMakeFiles/ocn_topo.dir/topo/mesh.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/CMakeFiles/ocn_topo.dir/topo/topology.cpp.o" "gcc" "src/CMakeFiles/ocn_topo.dir/topo/topology.cpp.o.d"
+  "/root/repo/src/topo/torus.cpp" "src/CMakeFiles/ocn_topo.dir/topo/torus.cpp.o" "gcc" "src/CMakeFiles/ocn_topo.dir/topo/torus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocn_topo.dir/topo/folded_torus.cpp.o"
+  "CMakeFiles/ocn_topo.dir/topo/folded_torus.cpp.o.d"
+  "CMakeFiles/ocn_topo.dir/topo/mesh.cpp.o"
+  "CMakeFiles/ocn_topo.dir/topo/mesh.cpp.o.d"
+  "CMakeFiles/ocn_topo.dir/topo/topology.cpp.o"
+  "CMakeFiles/ocn_topo.dir/topo/topology.cpp.o.d"
+  "CMakeFiles/ocn_topo.dir/topo/torus.cpp.o"
+  "CMakeFiles/ocn_topo.dir/topo/torus.cpp.o.d"
+  "libocn_topo.a"
+  "libocn_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocn_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/duty.cpp" "src/CMakeFiles/ocn_traffic.dir/traffic/duty.cpp.o" "gcc" "src/CMakeFiles/ocn_traffic.dir/traffic/duty.cpp.o.d"
+  "/root/repo/src/traffic/generator.cpp" "src/CMakeFiles/ocn_traffic.dir/traffic/generator.cpp.o" "gcc" "src/CMakeFiles/ocn_traffic.dir/traffic/generator.cpp.o.d"
+  "/root/repo/src/traffic/injection.cpp" "src/CMakeFiles/ocn_traffic.dir/traffic/injection.cpp.o" "gcc" "src/CMakeFiles/ocn_traffic.dir/traffic/injection.cpp.o.d"
+  "/root/repo/src/traffic/patterns.cpp" "src/CMakeFiles/ocn_traffic.dir/traffic/patterns.cpp.o" "gcc" "src/CMakeFiles/ocn_traffic.dir/traffic/patterns.cpp.o.d"
+  "/root/repo/src/traffic/replay.cpp" "src/CMakeFiles/ocn_traffic.dir/traffic/replay.cpp.o" "gcc" "src/CMakeFiles/ocn_traffic.dir/traffic/replay.cpp.o.d"
+  "/root/repo/src/traffic/saturation.cpp" "src/CMakeFiles/ocn_traffic.dir/traffic/saturation.cpp.o" "gcc" "src/CMakeFiles/ocn_traffic.dir/traffic/saturation.cpp.o.d"
+  "/root/repo/src/traffic/scheduled.cpp" "src/CMakeFiles/ocn_traffic.dir/traffic/scheduled.cpp.o" "gcc" "src/CMakeFiles/ocn_traffic.dir/traffic/scheduled.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocn_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocn_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocn_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

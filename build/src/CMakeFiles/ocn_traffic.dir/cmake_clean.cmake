@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocn_traffic.dir/traffic/duty.cpp.o"
+  "CMakeFiles/ocn_traffic.dir/traffic/duty.cpp.o.d"
+  "CMakeFiles/ocn_traffic.dir/traffic/generator.cpp.o"
+  "CMakeFiles/ocn_traffic.dir/traffic/generator.cpp.o.d"
+  "CMakeFiles/ocn_traffic.dir/traffic/injection.cpp.o"
+  "CMakeFiles/ocn_traffic.dir/traffic/injection.cpp.o.d"
+  "CMakeFiles/ocn_traffic.dir/traffic/patterns.cpp.o"
+  "CMakeFiles/ocn_traffic.dir/traffic/patterns.cpp.o.d"
+  "CMakeFiles/ocn_traffic.dir/traffic/replay.cpp.o"
+  "CMakeFiles/ocn_traffic.dir/traffic/replay.cpp.o.d"
+  "CMakeFiles/ocn_traffic.dir/traffic/saturation.cpp.o"
+  "CMakeFiles/ocn_traffic.dir/traffic/saturation.cpp.o.d"
+  "CMakeFiles/ocn_traffic.dir/traffic/scheduled.cpp.o"
+  "CMakeFiles/ocn_traffic.dir/traffic/scheduled.cpp.o.d"
+  "libocn_traffic.a"
+  "libocn_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocn_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

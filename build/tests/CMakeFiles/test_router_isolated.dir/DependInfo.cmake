@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_router_isolated.cpp" "tests/CMakeFiles/test_router_isolated.dir/test_router_isolated.cpp.o" "gcc" "tests/CMakeFiles/test_router_isolated.dir/test_router_isolated.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocn_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocn_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocn_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocn_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocn_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_router_isolated.dir/test_router_isolated.cpp.o"
+  "CMakeFiles/test_router_isolated.dir/test_router_isolated.cpp.o.d"
+  "test_router_isolated"
+  "test_router_isolated.pdb"
+  "test_router_isolated[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_router_isolated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_router_pipeline.dir/test_router_pipeline.cpp.o"
+  "CMakeFiles/test_router_pipeline.dir/test_router_pipeline.cpp.o.d"
+  "test_router_pipeline"
+  "test_router_pipeline.pdb"
+  "test_router_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_router_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

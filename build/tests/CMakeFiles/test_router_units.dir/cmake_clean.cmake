@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_router_units.dir/test_router_units.cpp.o"
+  "CMakeFiles/test_router_units.dir/test_router_units.cpp.o.d"
+  "test_router_units"
+  "test_router_units.pdb"
+  "test_router_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_router_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

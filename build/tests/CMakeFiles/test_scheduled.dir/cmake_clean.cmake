@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduled.dir/test_scheduled.cpp.o"
+  "CMakeFiles/test_scheduled.dir/test_scheduled.cpp.o.d"
+  "test_scheduled"
+  "test_scheduled.pdb"
+  "test_scheduled[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
