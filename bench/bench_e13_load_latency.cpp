@@ -5,26 +5,80 @@
 // flits, dimension-order source routing, credit-based VC flow control.
 // Low-load latency sits near the zero-load bound (hops x 2 cycles + port
 // overheads) and rises sharply toward saturation.
+//
+// The whole load grid runs on the experiment-sweep engine, twice: once on a
+// single worker and once on the default worker count (OCN_SWEEP_THREADS env
+// or hardware concurrency). The two runs must produce bit-identical merged
+// statistics — the engine's determinism contract — and the wall-clock ratio
+// is reported; on an N-core machine the parallel pass approaches N x.
+#include <chrono>
+#include <vector>
+
 #include "bench/common.h"
 #include "core/network.h"
+#include "sim/sweep/sweep.h"
 #include "traffic/generator.h"
 
 using namespace ocn;
 
 namespace {
 
-traffic::HarnessResult run_point(traffic::Pattern pattern, double rate, int flits) {
-  core::Network net(core::Config::paper_baseline());
-  traffic::HarnessOptions opt;
-  opt.pattern = pattern;
-  opt.injection_rate = rate / flits;
-  opt.packet_flits = flits;
-  opt.warmup = 1000;
-  opt.measure = 4000;
-  opt.drain_max = 1;
-  opt.seed = 3;
-  traffic::LoadHarness harness(net, opt);
-  return harness.run();
+constexpr double kRates[] = {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+constexpr traffic::Pattern kPatterns[] = {
+    traffic::Pattern::kUniform, traffic::Pattern::kTranspose,
+    traffic::Pattern::kHotspot};
+constexpr double kMultiFlitRates[] = {0.1, 0.2, 0.4, 0.6};
+
+std::vector<sweep::LoadPoint> build_grid() {
+  traffic::HarnessOptions base;
+  base.warmup = 1000;
+  base.measure = 4000;
+  base.drain_max = 1;
+  std::vector<sweep::LoadPoint> points;
+  for (auto pattern : kPatterns) {
+    for (double rate : kRates) {
+      sweep::LoadPoint p{core::Config::paper_baseline(), base};
+      p.harness.pattern = pattern;
+      p.harness.injection_rate = rate;
+      points.push_back(std::move(p));
+    }
+  }
+  for (double rate : kMultiFlitRates) {
+    sweep::LoadPoint p{core::Config::paper_baseline(), base};
+    p.harness.pattern = traffic::Pattern::kUniform;
+    p.harness.packet_flits = 4;
+    p.harness.injection_rate = rate / 4;
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+std::vector<sweep::LoadResult> timed_run(int threads,
+                                         const std::vector<sweep::LoadPoint>& points,
+                                         double* seconds) {
+  sweep::SweepOptions opt;
+  opt.threads = threads;
+  opt.master_seed = 3;
+  sweep::SweepRunner runner(opt);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto results = runner.run(points);
+  const auto t1 = std::chrono::steady_clock::now();
+  *seconds = std::chrono::duration<double>(t1 - t0).count();
+  return results;
+}
+
+bool accumulator_identical(const Accumulator& a, const Accumulator& b) {
+  return a.count() == b.count() && a.sum() == b.sum() && a.mean() == b.mean() &&
+         a.variance() == b.variance() && a.min() == b.min() && a.max() == b.max();
+}
+
+bool merged_identical(const sweep::MergedStats& a, const sweep::MergedStats& b) {
+  return accumulator_identical(a.latency, b.latency) &&
+         accumulator_identical(a.network_latency, b.network_latency) &&
+         accumulator_identical(a.hops, b.hops) &&
+         accumulator_identical(a.link_mm, b.link_mm) &&
+         a.latency_hist.bins() == b.latency_hist.bins() &&
+         a.measured_packets == b.measured_packets;
 }
 
 }  // namespace
@@ -34,40 +88,58 @@ int main() {
                 "flat latency near the zero-load bound, sharp rise at "
                 "saturation; saturation set by pattern");
 
-  for (auto pattern : {traffic::Pattern::kUniform, traffic::Pattern::kTranspose,
-                       traffic::Pattern::kHotspot}) {
+  const auto points = build_grid();
+  double serial_s = 0.0, parallel_s = 0.0;
+  const auto serial = timed_run(1, points, &serial_s);
+  const int threads = sweep::default_threads();
+  const auto parallel = timed_run(threads, points, &parallel_s);
+  const auto results = parallel;  // identical by contract; checked below
+
+  std::size_t idx = 0;
+  for (auto pattern : kPatterns) {
     bench::section((std::string("pattern: ") + traffic::pattern_name(pattern)).c_str());
     TablePrinter t({"offered flits/node/cyc", "accepted", "avg lat cyc", "p99 lat",
                     "stddev", "net lat"});
-    for (double rate : {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
-      const auto r = run_point(pattern, rate, 1);
+    bool saturated = false;
+    for (double rate : kRates) {
+      const auto& r = results[idx++].harness;
+      if (saturated) continue;  // grid ran everywhere; table stops at saturation
       t.add_row({bench::fmt(rate, 2), bench::fmt(r.accepted_flits, 3),
                  bench::fmt(r.avg_latency, 1), bench::fmt(r.p99_latency, 0),
                  bench::fmt(r.stddev_latency, 1), bench::fmt(r.avg_network_latency, 1)});
-      if (r.accepted_flits < 0.8 * rate) break;  // deep saturation: stop the sweep
+      if (r.accepted_flits < 0.8 * rate) saturated = true;  // deep saturation
     }
     t.print();
   }
 
   bench::section("multi-flit packets (4-flit, uniform)");
   TablePrinter m({"offered flits/node/cyc", "accepted", "avg lat cyc"});
-  for (double rate : {0.1, 0.2, 0.4, 0.6}) {
-    const auto r = run_point(traffic::Pattern::kUniform, rate, 4);
+  for (double rate : kMultiFlitRates) {
+    const auto& r = results[idx++].harness;
     m.add_row({bench::fmt(rate, 2), bench::fmt(r.accepted_flits, 3),
                bench::fmt(r.avg_latency, 1)});
   }
   m.print();
 
+  bench::section("sweep engine");
+  std::printf("%zu points: serial %.2fs, %d-thread %.2fs  (speedup %.2fx)\n",
+              points.size(), serial_s, threads, parallel_s,
+              parallel_s > 0 ? serial_s / parallel_s : 0.0);
+  const bool identical = merged_identical(sweep::SweepRunner::merge(serial),
+                                          sweep::SweepRunner::merge(parallel));
+  bench::verdict("parallel sweep statistics", "bit-identical to serial",
+                 identical ? "bit-identical" : "MISMATCH", identical);
+
   bench::section("paper-vs-measured");
-  const auto low = run_point(traffic::Pattern::kUniform, 0.05, 1);
+  const auto& low = results[0].harness;  // uniform @ 0.05
   // Zero-load bound: ~2 cycles/hop (router+link) + inject/eject overhead.
   const double bound = 2.0 * 2.0 + 4.0;  // avg 2 hops
   bench::verdict("zero-load latency near bound", bench::fmt(bound, 0) + " cyc",
                  bench::fmt(low.avg_latency, 1) + " cyc",
                  low.avg_latency < bound + 4);
-  const auto high = run_point(traffic::Pattern::kUniform, 0.9, 1);
+  const auto& high = results[9].harness;  // uniform @ 0.9
   bench::verdict("uniform saturation throughput", "high (torus, 8 VCs)",
                  bench::fmt(high.accepted_flits, 2) + " flits/node/cyc",
                  high.accepted_flits > 0.5);
-  return 0;
+  return identical ? 0 : 1;
 }

@@ -1,5 +1,6 @@
 #include "core/nic.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -23,8 +24,23 @@ Nic::Nic(NodeId node, const Config& config, const routing::RouteComputer& routes
       eject_stalled_(static_cast<std::size_t>(config.router.vcs), false),
       eject_arb_(config.router.vcs),
       reassembly_(static_cast<std::size_t>(config.router.vcs)),
+      req_scratch_(static_cast<std::size_t>(config.router.vcs), false),
+      prio_scratch_(static_cast<std::size_t>(config.router.vcs), 0),
       next_packet_id_(static_cast<PacketId>(node) << 40),
       class_latency_(4) {}
+
+bool Nic::quiescent() const {
+  if (inject_credit_ != nullptr && inject_credit_->receive().has_value()) return false;
+  if (eject_ != nullptr && eject_->receive().has_value()) return false;
+  if (!loopback_.empty() || !carry_to_router_.empty()) return false;
+  for (const auto& q : vc_queues_) {
+    if (!q.empty()) return false;
+  }
+  for (const auto& q : eject_pending_) {
+    if (!q.empty()) return false;
+  }
+  return true;
+}
 
 void Nic::attach(Channel<Flit>* inject, Channel<Credit>* inject_credit,
                  Channel<Flit>* eject, Channel<Credit>* eject_credit) {
@@ -182,7 +198,7 @@ void Nic::process_ejection(Cycle now) {
   }
   // Consume at most one flit per cycle (the physical port is one flit wide)
   // from a non-stalled VC, returning its credit.
-  std::vector<bool> requests(eject_pending_.size(), false);
+  std::vector<bool>& requests = req_scratch_;
   for (std::size_t v = 0; v < eject_pending_.size(); ++v) {
     requests[v] = !eject_pending_[v].empty() && !eject_stalled_[v];
   }
@@ -241,8 +257,10 @@ void Nic::consume_flit(Flit flit, Cycle now) {
 void Nic::do_injection(Cycle now) {
   if (inject_ == nullptr) return;
   const int vcs = config_.router.vcs;
-  std::vector<bool> requests(static_cast<std::size_t>(vcs), false);
-  std::vector<int> priority(static_cast<std::size_t>(vcs), 0);
+  std::vector<bool>& requests = req_scratch_;
+  std::vector<int>& priority = prio_scratch_;
+  std::fill(requests.begin(), requests.end(), false);
+  std::fill(priority.begin(), priority.end(), 0);
   for (VcId v = 0; v < vcs; ++v) {
     auto& q = vc_queues_[static_cast<std::size_t>(v)];
     if (q.empty()) continue;

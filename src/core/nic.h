@@ -63,6 +63,11 @@ class Nic final : public Clockable {
 
   void step(Cycle now) override;
 
+  /// Active-set fast path: a NIC with nothing arriving on its tile port, no
+  /// queued injection flits, no pending ejections and no loopback deliveries
+  /// is skipped by the kernel (see Clockable::quiescent).
+  bool quiescent() const override;
+
   // --- statistics -----------------------------------------------------------
   std::int64_t packets_injected() const { return packets_injected_; }
   std::int64_t packets_delivered() const { return packets_delivered_; }
@@ -119,6 +124,10 @@ class Nic final : public Clockable {
   std::vector<bool> eject_stalled_;
   router::RoundRobinArbiter eject_arb_;
   std::vector<Reassembly> reassembly_;
+  // Per-cycle arbitration scratch, reused to keep allocations off the hot
+  // path.
+  std::vector<bool> req_scratch_;
+  std::vector<int> prio_scratch_;
 
   std::deque<std::pair<Packet, Cycle>> loopback_;  ///< self-addressed, (packet, deliver_at)
 

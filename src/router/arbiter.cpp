@@ -16,19 +16,37 @@ int RoundRobinArbiter::arbitrate(const std::vector<bool>& requests) {
   return -1;
 }
 
+int RoundRobinArbiter::arbitrate_at_level(const std::vector<bool>& requests,
+                                          const std::vector<int>& priority,
+                                          int level) {
+  assert(static_cast<int>(requests.size()) == inputs_);
+  assert(requests.size() == priority.size());
+  for (int i = 0; i < inputs_; ++i) {
+    const int candidate = (next_ + i) % inputs_;
+    if (requests[candidate] &&
+        priority[static_cast<std::size_t>(candidate)] == level) {
+      next_ = (candidate + 1) % inputs_;
+      return candidate;
+    }
+  }
+  return -1;
+}
+
 int PriorityArbiter::arbitrate(const std::vector<bool>& requests,
                                const std::vector<int>& priority) {
   assert(requests.size() == priority.size());
-  int best = -1;
+  bool any = false;
+  int best = 0;
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    if (requests[i] && (best < 0 || priority[i] > best)) best = priority[i];
+    if (requests[i] && (!any || priority[i] > best)) {
+      best = priority[i];
+      any = true;
+    }
   }
-  if (best < 0) return -1;
-  std::vector<bool> filtered(requests.size());
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    filtered[i] = requests[i] && priority[i] == best;
-  }
-  return rr_.arbitrate(filtered);
+  if (!any) return -1;
+  // Round-robin among the highest-priority requesters, without building a
+  // filtered request vector (this runs per input port per cycle).
+  return rr_.arbitrate_at_level(requests, priority, best);
 }
 
 }  // namespace ocn::router

@@ -20,6 +20,12 @@ class RoundRobinArbiter {
   /// Advances the pointer past the winner so grants rotate.
   int arbitrate(const std::vector<bool>& requests);
 
+  /// As arbitrate(), but only inputs whose priority equals `level` compete.
+  /// Equivalent to filtering the request vector first, without the per-call
+  /// allocation that filtering would cost.
+  int arbitrate_at_level(const std::vector<bool>& requests,
+                         const std::vector<int>& priority, int level);
+
   int inputs() const { return inputs_; }
 
  private:

@@ -34,6 +34,19 @@ class InputController {
   bool attached() const { return in_ != nullptr; }
   topo::Port port() const { return port_; }
 
+  /// True when stepping the owning router would find nothing to do here:
+  /// no flit arriving on the input link and every VC buffer empty. (A VC
+  /// mid-wormhole with an empty buffer is still quiescent — it only has
+  /// work again once the next body flit arrives, which flips this false.)
+  bool quiescent() const {
+    if (in_ == nullptr) return true;
+    if (in_->receive().has_value()) return false;
+    for (const auto& buf : vcs_) {
+      if (!buf.empty()) return false;
+    }
+    return true;
+  }
+
   /// Phase 1: consume an arriving flit into its VC buffer (or apply the
   /// dropping policy).
   void accept_arrival();

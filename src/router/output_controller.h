@@ -35,6 +35,23 @@ class OutputController {
   topo::Port port() const { return port_; }
   double length_mm() const { return length_mm_; }
 
+  /// True when stepping the owning router would find nothing to do here: no
+  /// credit arriving from downstream, no staged flits awaiting the link, no
+  /// piggyback credits queued, and no reservation slots (reserved slots are
+  /// accounted — idle_reserved_cycles — every cycle, so they keep the
+  /// router on the clock).
+  bool quiescent() const {
+    if (link_ == nullptr) return true;
+    if (credit_downstream_ != nullptr && credit_downstream_->receive().has_value()) {
+      return false;
+    }
+    if (!carry_queue_.empty() || reservations_.any()) return false;
+    for (const auto& s : stage_) {
+      if (s.has_value()) return false;
+    }
+    return true;
+  }
+
   /// Install a per-link transform (fault layer). Not owned.
   void set_transform(LinkTransform* t) { transform_ = t; }
 

@@ -6,20 +6,16 @@ namespace ocn::router {
 
 bool ReservationTable::reserve(int slot, int input, VcId vc) {
   assert(slot >= 0 && slot < frame());
-  if (slots_[slot].reserved()) return false;
-  slots_[slot] = Slot{input, vc};
+  if (slots_[static_cast<std::size_t>(slot)].reserved()) return false;
+  slots_[static_cast<std::size_t>(slot)] = Slot{input, vc};
+  ++reserved_count_;
   return true;
 }
 
 void ReservationTable::clear(int slot) {
   assert(slot >= 0 && slot < frame());
-  slots_[slot] = Slot{};
-}
-
-int ReservationTable::reserved_count() const {
-  int n = 0;
-  for (const auto& s : slots_) n += s.reserved() ? 1 : 0;
-  return n;
+  if (slots_[static_cast<std::size_t>(slot)].reserved()) --reserved_count_;
+  slots_[static_cast<std::size_t>(slot)] = Slot{};
 }
 
 }  // namespace ocn::router

@@ -34,8 +34,10 @@ class ReservationTable {
   const Slot& at(Cycle now) const { return slots_[index(now)]; }
   bool reserved_at(Cycle now) const { return at(now).reserved(); }
 
-  int reserved_count() const;
-  bool any() const { return reserved_count() > 0; }
+  /// Number of reserved slots; maintained incrementally so the per-cycle
+  /// `any()` check in the router hot path is O(1).
+  int reserved_count() const { return reserved_count_; }
+  bool any() const { return reserved_count_ > 0; }
 
  private:
   int index(Cycle now) const {
@@ -43,6 +45,7 @@ class ReservationTable {
     return static_cast<int>(((now % f) + f) % f);
   }
   std::vector<Slot> slots_;
+  int reserved_count_ = 0;
 };
 
 }  // namespace ocn::router

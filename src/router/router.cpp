@@ -1,5 +1,6 @@
 #include "router/router.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ocn::router {
@@ -21,6 +22,18 @@ Router::Router(NodeId node, const topo::Topology& topology, const RouterParams& 
     inputs_[static_cast<std::size_t>(p)].set_reverse_output(
         &outputs_[static_cast<std::size_t>(rev)]);
   }
+  req_scratch_.resize(static_cast<std::size_t>(params_.vcs));
+  prio_scratch_.resize(static_cast<std::size_t>(params_.vcs));
+}
+
+bool Router::quiescent() const {
+  for (const auto& in : inputs_) {
+    if (!in.quiescent()) return false;
+  }
+  for (const auto& out : outputs_) {
+    if (!out.quiescent()) return false;
+  }
+  return true;
 }
 
 bool Router::effective_dateline(const Flit& head, Port in_port, Port out_port) const {
@@ -48,9 +61,9 @@ void Router::step(Cycle now) {
 
 void Router::vc_allocation(Cycle now) {
   // Rotate the input starting point so no input gets structural priority on
-  // downstream VCs.
-  const int start = alloc_rotate_;
-  alloc_rotate_ = (alloc_rotate_ + 1) % topo::kNumPorts;
+  // downstream VCs. Derived from the cycle counter (identical to a counter
+  // incremented every cycle) so skipped quiescent cycles don't perturb it.
+  const int start = static_cast<int>(now % topo::kNumPorts);
   for (int i = 0; i < topo::kNumPorts; ++i) {
     auto& in = inputs_[static_cast<std::size_t>((start + i) % topo::kNumPorts)];
     if (!in.attached()) continue;
@@ -122,8 +135,10 @@ void Router::switch_traversal(Cycle now) {
   for (int i = 0; i < topo::kNumPorts; ++i) {
     auto& in = inputs_[static_cast<std::size_t>(i)];
     if (!in.attached() || in.popped_this_cycle()) continue;
-    std::vector<bool> requests(static_cast<std::size_t>(in.num_vcs()), false);
-    std::vector<int> priority(static_cast<std::size_t>(in.num_vcs()), 0);
+    std::vector<bool>& requests = req_scratch_;
+    std::vector<int>& priority = prio_scratch_;
+    std::fill(requests.begin(), requests.end(), false);
+    std::fill(priority.begin(), priority.end(), 0);
     for (VcId v = 0; v < in.num_vcs(); ++v) {
       // Pre-scheduled traffic moves only on its reserved slots (bypass
       // path); letting it use the dynamic path would reintroduce jitter.

@@ -44,6 +44,13 @@ class Router final : public Clockable {
 
   void step(Cycle now) override;
 
+  /// Active-set fast path: a router with no arrivals, no buffered or staged
+  /// flits, no queued credits and no reservations is skipped by the kernel.
+  /// Skipping is exactly behaviour-preserving: every piece of per-cycle
+  /// state a skipped step would touch (allocation rotation) is derived from
+  /// the cycle counter instead of incremented.
+  bool quiescent() const override;
+
   /// Dateline state the packet will have after leaving through out_port
   /// (see DESIGN.md on deadlock freedom). Exposed for tests.
   bool effective_dateline(const Flit& head, topo::Port in_port, topo::Port out_port) const;
@@ -67,7 +74,10 @@ class Router final : public Clockable {
   std::vector<InputController> inputs_;
   std::vector<OutputController> outputs_;
   std::vector<PriorityArbiter> switch_arbs_;  // one per input, over VCs
-  int alloc_rotate_ = 0;
+  // Per-cycle switch-arbitration scratch, reused to keep allocations out of
+  // the hot loop.
+  std::vector<bool> req_scratch_;
+  std::vector<int> prio_scratch_;
 };
 
 }  // namespace ocn::router

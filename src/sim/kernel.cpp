@@ -3,8 +3,16 @@
 namespace ocn {
 
 void Kernel::tick() {
-  for (Clockable* c : components_) c->step(now_);
-  for (ChannelBase* ch : channels_) ch->advance();
+  int stepped = 0;
+  for (Clockable* c : components_) {
+    if (c->quiescent()) continue;
+    c->step(now_);
+    ++stepped;
+  }
+  last_tick_stepped_ = stepped;
+  for (ChannelBase* ch : channels_) {
+    if (ch->active()) ch->advance();
+  }
   ++now_;
 }
 

@@ -6,11 +6,20 @@
 // arrive `latency` cycles later); the kernel then advances all channels at
 // once. Because no component ever observes another component's same-cycle
 // writes, evaluation order is irrelevant and simulations are deterministic.
+//
+// Hot-path structure: channels are not virtual. ChannelBase carries a
+// function pointer selected at construction (unit-latency channels get a
+// two-slot swap with no deque traffic) plus an `active` flag so the kernel
+// skips channels with nothing in flight. Components may additionally report
+// themselves `quiescent()`; the kernel then skips their step() entirely,
+// which makes warmup/drain phases and lightly loaded regions cheap.
 #pragma once
 
 #include <cassert>
+#include <cstdio>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,25 +34,47 @@ class Clockable {
   virtual ~Clockable() = default;
   /// Called once per cycle, after channel outputs for `now` are visible.
   virtual void step(Cycle now) = 0;
+  /// True when step() would be an exact no-op this cycle (no arrivals on any
+  /// input channel and no internal work pending). The kernel skips stepping
+  /// quiescent components, so an implementation must only return true when
+  /// skipping is indistinguishable from stepping — including statistics.
+  /// The default keeps every component on the clock.
+  virtual bool quiescent() const { return false; }
 };
 
-/// Type-erased channel interface so the kernel can advance heterogeneous
-/// channels uniformly.
+/// Non-virtual channel base so the kernel can advance heterogeneous channels
+/// through one direct function-pointer call, and skip idle ones entirely.
 class ChannelBase {
  public:
-  virtual ~ChannelBase() = default;
-  virtual void advance() = 0;
+  void advance() { advance_fn_(this); }
+  /// True when the channel has (or may have) values in flight; idle channels
+  /// are skipped by Kernel::tick.
+  bool active() const { return active_; }
+
+ protected:
+  using AdvanceFn = void (*)(ChannelBase*);
+  explicit ChannelBase(AdvanceFn fn) : advance_fn_(fn) {}
+  ~ChannelBase() = default;  // never deleted through the base
+  void set_active(bool a) { active_ = a; }
+
+ private:
+  AdvanceFn advance_fn_;
+  bool active_ = false;
 };
 
 /// Unidirectional delay line carrying at most one value per cycle.
 ///
 /// send(v) during cycle t makes v visible via receive() during cycle
-/// t + latency. Sending twice in one cycle is a modelling error (asserted).
+/// t + latency. Sending twice in one cycle is a modelling error: it would
+/// silently lose a flit in flight, so it is detected unconditionally (all
+/// build types) and terminates with the channel name.
 template <typename T>
 class Channel final : public ChannelBase {
  public:
   explicit Channel(int latency = 1, std::string name = {})
-      : name_(std::move(name)), pipe_(latency > 0 ? latency - 1 : 0) {
+      : ChannelBase(latency <= 1 ? &advance_unit : &advance_pipe),
+        name_(std::move(name)),
+        pipe_(latency > 0 ? static_cast<std::size_t>(latency - 1) : 0) {
     assert(latency >= 1 && "channels are registered; latency must be >= 1");
   }
 
@@ -58,23 +89,20 @@ class Channel final : public ChannelBase {
   }
 
   void send(T v) {
-    assert(!pending_.has_value() && "one value per channel per cycle");
+    if (pending_.has_value()) {
+      std::fprintf(stderr,
+                   "ocn: fatal: double send on channel '%s' in one cycle "
+                   "(one value per channel per cycle)\n",
+                   name_.empty() ? "<unnamed>" : name_.c_str());
+      std::terminate();
+    }
     pending_ = std::move(v);
+    ++inflight_;
     ++sends_;
+    set_active(true);
   }
 
   bool send_pending() const { return pending_.has_value(); }
-
-  void advance() override {
-    if (pipe_.empty()) {
-      out_ = std::move(pending_);
-    } else {
-      out_ = std::move(pipe_.front());
-      pipe_.pop_front();
-      pipe_.push_back(std::move(pending_));
-    }
-    pending_.reset();
-  }
 
   int latency() const { return static_cast<int>(pipe_.size()) + 1; }
   std::int64_t sends() const { return sends_; }
@@ -85,10 +113,32 @@ class Channel final : public ChannelBase {
   double length_mm = 0.0;
 
  private:
+  // Latency-1 fast path: a two-slot swap, no deque involved.
+  static void advance_unit(ChannelBase* base) {
+    auto* self = static_cast<Channel*>(base);
+    const bool arriving = self->pending_.has_value();
+    self->out_.swap(self->pending_);
+    self->pending_.reset();
+    if (arriving) --self->inflight_;
+    self->set_active(self->inflight_ > 0 || self->out_.has_value());
+  }
+
+  static void advance_pipe(ChannelBase* base) {
+    auto* self = static_cast<Channel*>(base);
+    const bool arriving = self->pipe_.front().has_value();
+    self->out_ = std::move(self->pipe_.front());
+    self->pipe_.pop_front();
+    self->pipe_.push_back(std::move(self->pending_));
+    self->pending_.reset();
+    if (arriving) --self->inflight_;
+    self->set_active(self->inflight_ > 0 || self->out_.has_value());
+  }
+
   std::string name_;
   std::deque<std::optional<T>> pipe_;  // latency-1 in-flight slots
   std::optional<T> pending_;           // written this cycle
   std::optional<T> out_;               // visible this cycle
+  int inflight_ = 0;                   // engaged values in pipe_ + pending_
   std::int64_t sends_ = 0;
 };
 
@@ -108,10 +158,14 @@ class Kernel {
 
   Cycle now() const { return now_; }
 
+  /// Components whose step() ran last tick (active-set instrumentation).
+  int last_tick_stepped() const { return last_tick_stepped_; }
+
  private:
   std::vector<Clockable*> components_;
   std::vector<ChannelBase*> channels_;
   Cycle now_ = 0;
+  int last_tick_stepped_ = 0;
 };
 
 }  // namespace ocn

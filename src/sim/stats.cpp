@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <numeric>
 #include <sstream>
+#include <stdexcept>
 
 namespace ocn {
 
@@ -48,8 +50,13 @@ Histogram::Histogram(std::size_t bins, double bin_width)
     : bin_width_(bin_width), counts_(bins + 1, 0) {}
 
 void Histogram::add(double x) {
+  if (x < 0) {
+    // A negative latency is an accounting bug upstream; recording it as a
+    // zero-latency sample would hide the bug inside the distribution.
+    ++negatives_;
+    return;
+  }
   ++total_;
-  if (x < 0) x = 0;
   const auto bin = static_cast<std::size_t>(x / bin_width_);
   if (bin >= counts_.size() - 1) {
     ++counts_.back();
@@ -61,18 +68,33 @@ void Histogram::add(double x) {
 void Histogram::clear() {
   std::fill(counts_.begin(), counts_.end(), 0);
   total_ = 0;
+  negatives_ = 0;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.counts_.size() != counts_.size() || other.bin_width_ != bin_width_) {
+    throw std::invalid_argument("Histogram::merge: incompatible bin layout");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  negatives_ += other.negatives_;
 }
 
 double Histogram::percentile(double fraction) const {
   if (total_ == 0) return 0.0;
   fraction = std::clamp(fraction, 0.0, 1.0);
   const auto target = static_cast<std::int64_t>(std::ceil(fraction * static_cast<double>(total_)));
+  // ceil(0 * total) == 0 would "land" in the first bin scanned and report
+  // one full bin_width; the 0th percentile is by definition 0.
+  if (target <= 0) return 0.0;
   std::int64_t seen = 0;
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
+  for (std::size_t i = 0; i + 1 < counts_.size(); ++i) {
     seen += counts_[i];
     if (seen >= target) return static_cast<double>(i + 1) * bin_width_;
   }
-  return static_cast<double>(counts_.size()) * bin_width_;
+  // The percentile falls in the overflow bin: there is no finite upper bin
+  // edge, and inventing one would look like a real latency.
+  return std::numeric_limits<double>::infinity();
 }
 
 void DutyCounter::record_toggle(std::size_t wire, std::int64_t times) {

@@ -36,16 +36,32 @@ class Accumulator {
 
 /// Fixed-bin histogram over [0, bins*bin_width) with an overflow bin;
 /// supports exact percentile queries at bin resolution.
+///
+/// Negative samples are a measurement bug upstream (latencies cannot be
+/// negative); they are NOT folded into bin 0 but counted separately so the
+/// bug cannot masquerade as zero-latency traffic. They do not contribute to
+/// count() or percentile().
 class Histogram {
  public:
   Histogram(std::size_t bins, double bin_width);
 
   void add(double x);
   void clear();
+  /// Merge another histogram's counts into this one. Both histograms must
+  /// have the same shape (bin count and width); throws std::invalid_argument
+  /// otherwise. Merging is order-independent (integer adds), so sharded
+  /// accumulation bit-matches single-pass accumulation.
+  void merge(const Histogram& other);
 
+  /// Number of (non-negative) samples recorded.
   std::int64_t count() const { return total_; }
+  /// Negative samples rejected by add() — always 0 in a correct experiment.
+  std::int64_t negative_samples() const { return negatives_; }
   /// Value below which the given fraction (0..1) of samples fall, at bin
-  /// granularity (upper edge of the containing bin). Returns 0 if empty.
+  /// granularity (upper edge of the containing bin). Returns 0 if empty or
+  /// fraction == 0. A percentile that lands in the overflow bin has no
+  /// finite bin edge and reports +infinity rather than a plausible-looking
+  /// finite latency.
   double percentile(double fraction) const;
   std::int64_t overflow() const { return counts_.back(); }
   const std::vector<std::int64_t>& bins() const { return counts_; }
@@ -55,6 +71,7 @@ class Histogram {
   double bin_width_;
   std::vector<std::int64_t> counts_;  // last bin is overflow
   std::int64_t total_ = 0;
+  std::int64_t negatives_ = 0;
 };
 
 /// Counts toggles on a set of wires to compute duty factor (paper section 4.4).

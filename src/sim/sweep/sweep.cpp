@@ -1,0 +1,60 @@
+#include "sim/sweep/sweep.h"
+
+#include "core/network.h"
+
+namespace ocn::sweep {
+
+SweepRunner::SweepRunner(const SweepOptions& options)
+    : master_seed_(options.master_seed),
+      pool_(options.threads > 0 ? options.threads : default_threads()) {}
+
+std::vector<LoadResult> SweepRunner::run(const std::vector<LoadPoint>& points) {
+  std::vector<LoadResult> out(points.size());
+  pool_.for_each_index(points.size(), [&](std::size_t i) {
+    const std::uint64_t seed =
+        derive_seed(master_seed_, static_cast<std::uint64_t>(i));
+    core::Config cfg = points[i].config;
+    traffic::HarnessOptions opt = points[i].harness;
+    cfg.seed = seed;
+    opt.seed = seed;
+    core::Network net(cfg);
+    traffic::LoadHarness harness(net, opt);
+    LoadResult r;
+    r.harness = harness.run();
+    r.latency = harness.measured_latency();
+    r.network_latency = harness.measured_network_latency();
+    r.hops = harness.measured_hops();
+    r.link_mm = harness.measured_link_mm();
+    r.latency_hist.merge(harness.latency_histogram());
+    out[i] = std::move(r);
+  });
+  return out;
+}
+
+MergedStats SweepRunner::merge(const std::vector<LoadResult>& results) {
+  MergedStats m;
+  for (const LoadResult& r : results) {
+    m.latency.merge(r.latency);
+    m.network_latency.merge(r.network_latency);
+    m.hops.merge(r.hops);
+    m.link_mm.merge(r.link_mm);
+    m.latency_hist.merge(r.latency_hist);
+    m.measured_packets += r.harness.measured_packets;
+  }
+  return m;
+}
+
+std::vector<LoadPoint> SweepRunner::rate_grid(
+    const core::Config& config, const traffic::HarnessOptions& base,
+    const std::vector<double>& rates) {
+  std::vector<LoadPoint> points;
+  points.reserve(rates.size());
+  for (double rate : rates) {
+    LoadPoint p{config, base};
+    p.harness.injection_rate = rate;
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+}  // namespace ocn::sweep

@@ -1,0 +1,78 @@
+#include "sim/sweep/thread_pool.h"
+
+#include <cstdlib>
+
+namespace ocn::sweep {
+
+int default_threads() {
+  if (const char* env = std::getenv("OCN_SWEEP_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = threads < 1 ? 1 : threads;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::for_each_index(std::size_t n,
+                                const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    total_ = n;
+    next_ = 0;
+    remaining_ = n;
+    first_error_ = nullptr;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  body_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] {
+      return stop_ || (body_ != nullptr && next_ < total_);
+    });
+    if (stop_) return;
+    const std::size_t i = next_++;
+    const auto* body = body_;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      (*body)(i);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error) {
+      if (!first_error_) first_error_ = error;
+      // Abandon unclaimed work: the range fails as a whole.
+      remaining_ -= total_ - next_;
+      next_ = total_;
+    }
+    if (--remaining_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace ocn::sweep

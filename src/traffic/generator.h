@@ -15,6 +15,11 @@
 
 namespace ocn::traffic {
 
+/// Shape of the measurement-window latency histogram; shared with the sweep
+/// engine so per-shard histograms merge into an identically shaped one.
+inline constexpr std::size_t kLatencyHistBins = 20000;
+inline constexpr double kLatencyHistBinWidth = 1.0;
+
 struct HarnessOptions {
   Pattern pattern = Pattern::kUniform;
   double injection_rate = 0.1;  ///< packets per node per cycle
@@ -61,9 +66,18 @@ class LoadHarness final : public Clockable {
   HarnessResult run();
 
   void step(Cycle now) override;
+  /// Outside warmup+measurement the harness injects nothing; let the
+  /// kernel's active-set fast path skip it during drain.
+  bool quiescent() const override { return !generating_; }
 
-  /// Latency accumulator over measured packets (exposed for tests).
+  /// Measurement-window statistics, exposed for tests and for the sweep
+  /// engine, which merges them across points via Accumulator::merge /
+  /// Histogram::merge.
   const Accumulator& measured_latency() const { return latency_; }
+  const Accumulator& measured_network_latency() const { return network_latency_; }
+  const Accumulator& measured_hops() const { return hops_; }
+  const Accumulator& measured_link_mm() const { return link_mm_; }
+  const Histogram& latency_histogram() const { return latency_hist_; }
 
  private:
   void on_delivery(core::Packet&& p);
@@ -86,7 +100,7 @@ class LoadHarness final : public Clockable {
   Accumulator network_latency_;
   Accumulator hops_;
   Accumulator link_mm_;
-  Histogram latency_hist_{20000, 1.0};
+  Histogram latency_hist_{kLatencyHistBins, kLatencyHistBinWidth};
 };
 
 }  // namespace ocn::traffic

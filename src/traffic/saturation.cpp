@@ -1,8 +1,11 @@
 #include "traffic/saturation.h"
 
 #include <algorithm>
+#include <cmath>
+#include <vector>
 
 #include "core/network.h"
+#include "sim/sweep/thread_pool.h"
 
 namespace ocn::traffic {
 namespace {
@@ -27,25 +30,59 @@ double accepted_at(const core::Config& config, const SaturationOptions& opt,
 SaturationResult find_saturation(const core::Config& config,
                                  const SaturationOptions& opt) {
   SaturationResult r;
-  auto saturated = [&](double offered) {
-    const double accepted = accepted_at(config, opt, offered);
-    ++r.probes;
-    r.peak_accepted = std::max(r.peak_accepted, accepted);
+  const auto is_saturated = [&](double offered, double accepted) {
     return accepted < (1.0 - opt.tolerance) * offered;
   };
 
-  double lo = 0.0;            // known good
-  double hi = opt.max_load;   // probe ceiling
-  if (!saturated(hi)) {
-    r.saturation_load = hi;
+  // Ceiling probe first: an unsaturable network costs exactly one probe.
+  const double ceiling_accepted = accepted_at(config, opt, opt.max_load);
+  ++r.probes;
+  r.peak_accepted = std::max(r.peak_accepted, ceiling_accepted);
+  if (!is_saturated(opt.max_load, ceiling_accepted)) {
+    r.saturation_load = opt.max_load;
     return r;
   }
+
+  const int threads = opt.threads > 0 ? opt.threads : sweep::default_threads();
+  sweep::ThreadPool pool(threads);
+
+  double lo = 0.0;           // known good
+  double hi = opt.max_load;  // known saturated
   while (hi - lo > opt.resolution) {
-    const double mid = 0.5 * (lo + hi);
-    if (saturated(mid)) {
-      hi = mid;
+    // Probe m evenly spaced interior loads; more than (hi-lo)/resolution of
+    // them cannot tighten the bracket further, so cap there.
+    const int useful = static_cast<int>(std::floor((hi - lo) / opt.resolution));
+    const int m = std::clamp(threads, 1, std::max(1, useful));
+    std::vector<double> loads(static_cast<std::size_t>(m));
+    std::vector<double> accepted(static_cast<std::size_t>(m));
+    for (int k = 0; k < m; ++k) {
+      loads[static_cast<std::size_t>(k)] = lo + (hi - lo) * (k + 1) / (m + 1);
+    }
+    pool.for_each_index(static_cast<std::size_t>(m), [&](std::size_t k) {
+      accepted[k] = accepted_at(config, opt, loads[k]);
+    });
+    r.probes += m;
+    // Fold in index order so the result is identical for any worker count.
+    for (int k = 0; k < m; ++k) {
+      r.peak_accepted =
+          std::max(r.peak_accepted, accepted[static_cast<std::size_t>(k)]);
+    }
+    // Narrow to the first saturated probe (loads ascend left to right).
+    int first_saturated = m;
+    for (int k = 0; k < m; ++k) {
+      if (is_saturated(loads[static_cast<std::size_t>(k)],
+                       accepted[static_cast<std::size_t>(k)])) {
+        first_saturated = k;
+        break;
+      }
+    }
+    if (first_saturated == m) {
+      lo = loads[static_cast<std::size_t>(m - 1)];
     } else {
-      lo = mid;
+      hi = loads[static_cast<std::size_t>(first_saturated)];
+      if (first_saturated > 0) {
+        lo = loads[static_cast<std::size_t>(first_saturated - 1)];
+      }
     }
   }
   r.saturation_load = lo;

@@ -1,7 +1,10 @@
 // Saturation-throughput search: the standard figure of merit for a network
 // configuration. Saturation is defined as the largest offered load the
 // network still accepts (accepted >= (1 - tolerance) * offered); found by
-// bisection over offered load, fresh network per probe.
+// bracket refinement over offered load, fresh network per probe. Each
+// refinement round probes up to `threads` evenly spaced loads inside the
+// current bracket in parallel (sweep::ThreadPool); with one thread this
+// degenerates to the classic midpoint bisection, probe for probe.
 #pragma once
 
 #include <functional>
@@ -20,6 +23,12 @@ struct SaturationOptions {
   Cycle warmup = 500;
   Cycle measure = 2500;
   std::uint64_t seed = 42;
+  /// Probes per refinement round, each on its own worker; <= 0 means
+  /// sweep::default_threads(). Every probe is a fresh Network with the same
+  /// seed, so the result depends only on which loads get probed: any
+  /// thread count yields a bracket of width <= resolution around the knee,
+  /// and threads == 1 reproduces serial bisection exactly.
+  int threads = 0;
 };
 
 struct SaturationResult {

@@ -1,11 +1,17 @@
 // Property-style load tests: conservation, ordering, and sane latency
 // behaviour under randomized sustained traffic, swept over topologies,
-// patterns, packet sizes and seeds (parameterized gtest).
+// patterns, packet sizes and seeds. The 60-combination conservation sweep
+// runs sharded over the experiment-sweep engine's worker pool; the combos
+// pin their own seeds (part of the matrix), so the sweep's derived seed is
+// deliberately unused there.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "core/network.h"
+#include "sim/sweep/sweep.h"
 #include "traffic/generator.h"
 
 namespace ocn {
@@ -26,52 +32,93 @@ Config config_for(TopologyKind kind, int radix = 4) {
   return c;
 }
 
-using SweepParam = std::tuple<TopologyKind, Pattern, int /*flits*/, std::uint64_t /*seed*/>;
+struct SweepCombo {
+  TopologyKind kind;
+  Pattern pattern;
+  int flits;
+  std::uint64_t seed;
+};
 
-std::string sweep_name(const ::testing::TestParamInfo<SweepParam>& info) {
-  return std::string(core::topology_kind_name(std::get<0>(info.param))) + "_" +
-         traffic::pattern_name(std::get<1>(info.param)) + "_f" +
-         std::to_string(std::get<2>(info.param)) + "_s" +
-         std::to_string(std::get<3>(info.param));
+std::string sweep_name(const SweepCombo& c) {
+  return std::string(core::topology_kind_name(c.kind)) + "_" +
+         traffic::pattern_name(c.pattern) + "_f" + std::to_string(c.flits) +
+         "_s" + std::to_string(c.seed);
 }
 
-class LoadSweep : public ::testing::TestWithParam<SweepParam> {};
+struct SweepOutcome {
+  std::string name;
+  bool drained = false;
+  std::int64_t packets_injected = 0;
+  std::int64_t packets_delivered = 0;
+  std::int64_t flits_injected = 0;
+  std::int64_t flits_delivered = 0;
+  std::int64_t packets_dropped = 0;
+  double delivered_fraction = 0.0;
+  double avg_latency = 0.0;
+  double offered_flits = 0.0;
+  double accepted_flits = 0.0;
+};
 
-TEST_P(LoadSweep, ConservationAndDrainBelowSaturation) {
-  const auto [kind, pattern, flits, seed] = GetParam();
-  Network net(config_for(kind));
-  HarnessOptions opt;
-  opt.pattern = pattern;
-  opt.packet_flits = flits;
-  // Keep offered load conservative so every pattern is below saturation.
-  opt.injection_rate = 0.10 / flits;
-  opt.warmup = 300;
-  opt.measure = 2000;
-  opt.seed = seed;
-  LoadHarness harness(net, opt);
-  const auto r = harness.run();
+TEST(LoadSweep, ConservationAndDrainBelowSaturation) {
+  std::vector<SweepCombo> combos;
+  for (TopologyKind kind : {TopologyKind::kMesh, TopologyKind::kTorus,
+                            TopologyKind::kFoldedTorus}) {
+    for (Pattern pattern : {Pattern::kUniform, Pattern::kTranspose,
+                            Pattern::kBitComplement, Pattern::kTornado,
+                            Pattern::kHotspot}) {
+      for (int flits : {1, 4}) {
+        for (std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{99}}) {
+          combos.push_back({kind, pattern, flits, seed});
+        }
+      }
+    }
+  }
 
-  EXPECT_TRUE(r.drained) << "possible deadlock";
-  const auto s = net.stats();
-  EXPECT_EQ(s.packets_injected, s.packets_delivered);
-  EXPECT_EQ(s.flits_injected, s.flits_delivered);
-  EXPECT_EQ(s.packets_dropped, 0);
-  EXPECT_DOUBLE_EQ(r.delivered_fraction, 1.0);
-  EXPECT_GT(r.avg_latency, 0.0);
-  EXPECT_NEAR(r.accepted_flits, r.offered_flits, 0.03);
+  sweep::SweepOptions sweep_opt;
+  sweep_opt.threads = 4;
+  sweep::SweepRunner runner(sweep_opt);
+  const auto outcomes = runner.map<SweepOutcome>(
+      combos.size(), [&](std::size_t i, std::uint64_t) {
+        const SweepCombo& combo = combos[i];
+        SweepOutcome out;
+        out.name = sweep_name(combo);
+        Network net(config_for(combo.kind));
+        HarnessOptions opt;
+        opt.pattern = combo.pattern;
+        opt.packet_flits = combo.flits;
+        // Keep offered load conservative so every pattern is below saturation.
+        opt.injection_rate = 0.10 / combo.flits;
+        opt.warmup = 300;
+        opt.measure = 2000;
+        opt.seed = combo.seed;  // the combo's own seed is part of the matrix
+        LoadHarness harness(net, opt);
+        const auto r = harness.run();
+        const auto s = net.stats();
+        out.drained = r.drained;
+        out.packets_injected = s.packets_injected;
+        out.packets_delivered = s.packets_delivered;
+        out.flits_injected = s.flits_injected;
+        out.flits_delivered = s.flits_delivered;
+        out.packets_dropped = s.packets_dropped;
+        out.delivered_fraction = r.delivered_fraction;
+        out.avg_latency = r.avg_latency;
+        out.offered_flits = r.offered_flits;
+        out.accepted_flits = r.accepted_flits;
+        return out;
+      });
+
+  ASSERT_EQ(outcomes.size(), combos.size());
+  for (const SweepOutcome& out : outcomes) {
+    SCOPED_TRACE(out.name);
+    EXPECT_TRUE(out.drained) << "possible deadlock";
+    EXPECT_EQ(out.packets_injected, out.packets_delivered);
+    EXPECT_EQ(out.flits_injected, out.flits_delivered);
+    EXPECT_EQ(out.packets_dropped, 0);
+    EXPECT_DOUBLE_EQ(out.delivered_fraction, 1.0);
+    EXPECT_GT(out.avg_latency, 0.0);
+    EXPECT_NEAR(out.accepted_flits, out.offered_flits, 0.03);
+  }
 }
-
-INSTANTIATE_TEST_SUITE_P(
-    Sweep, LoadSweep,
-    ::testing::Combine(
-        ::testing::Values(TopologyKind::kMesh, TopologyKind::kTorus,
-                          TopologyKind::kFoldedTorus),
-        ::testing::Values(Pattern::kUniform, Pattern::kTranspose,
-                          Pattern::kBitComplement, Pattern::kTornado,
-                          Pattern::kHotspot),
-        ::testing::Values(1, 4),
-        ::testing::Values<std::uint64_t>(1, 99)),
-    sweep_name);
 
 TEST(LoadBehaviour, LatencyRisesWithLoad) {
   double last = 0.0;

@@ -95,6 +95,57 @@ TEST(Histogram, OverflowBinCatchesOutliers) {
   EXPECT_EQ(h.count(), 2);
 }
 
+// Regression: percentile(0.0) used to report bin_width (the upper edge of
+// bin 0) instead of 0, biasing every "min latency" style query by one bin.
+TEST(Histogram, PercentileZeroIsZero) {
+  Histogram h(10, 4.0);
+  for (double x : {1.0, 5.0, 9.0, 33.0}) h.add(x);
+  EXPECT_EQ(h.percentile(0.0), 0.0);
+  EXPECT_EQ(h.percentile(-0.5), 0.0);  // clamped, still 0
+}
+
+TEST(Histogram, PercentileOneIsUpperEdgeOfLastOccupiedBin) {
+  Histogram h(10, 4.0);
+  for (double x : {1.0, 5.0, 9.0, 33.0}) h.add(x);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 36.0);  // 33.0 lives in [32, 36)
+}
+
+// Regression: a percentile landing in the overflow bin has no finite bin
+// edge; it must report a distinguishable value (+infinity), never a
+// plausible-looking finite latency.
+TEST(Histogram, PercentileInOverflowBinIsInfinite) {
+  Histogram h(10, 1.0);
+  h.add(2.0);
+  h.add(1e9);  // overflow
+  EXPECT_NEAR(h.percentile(0.5), 3.0, 1.0);  // still in a real bin
+  EXPECT_TRUE(std::isinf(h.percentile(1.0)));
+  Histogram all_over(4, 1.0);
+  all_over.add(100.0);
+  EXPECT_TRUE(std::isinf(all_over.percentile(0.5)));
+}
+
+TEST(Histogram, EmptyPercentileIsZero) {
+  Histogram h(10, 1.0);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+  EXPECT_EQ(h.percentile(1.0), 0.0);
+}
+
+// Regression: negative samples used to clamp into bin 0, masquerading as
+// zero-latency traffic; they are now quarantined in a separate counter.
+TEST(Histogram, NegativeSamplesQuarantinedNotClamped) {
+  Histogram h(10, 1.0);
+  h.add(-3.0);
+  h.add(-0.001);
+  h.add(0.5);
+  EXPECT_EQ(h.negative_samples(), 2);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.bins()[0], 1);  // only the genuine 0.5 sample
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1.0);
+  h.clear();
+  EXPECT_EQ(h.negative_samples(), 0);
+  EXPECT_EQ(h.count(), 0);
+}
+
 TEST(Channel, DelaysValueByLatency) {
   Channel<int> ch(3);
   Kernel k;
@@ -145,6 +196,65 @@ TEST(Channel, BackToBackValuesFlowAtFullRate) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
 }
 
+// Regression: double-send detection must fire in every build type — a lost
+// in-flight flit corrupts credit accounting silently otherwise.
+TEST(ChannelDeathTest, DoubleSendInOneCycleTerminates) {
+  Channel<int> ch(1, "rtr0.east.flit");
+  ch.send(1);
+  EXPECT_DEATH(ch.send(2), "double send on channel 'rtr0.east.flit'");
+}
+
+TEST(ChannelDeathTest, UnnamedChannelStillReportsDoubleSend) {
+  Channel<int> ch(1);
+  ch.send(1);
+  EXPECT_DEATH(ch.send(2), "double send on channel '<unnamed>'");
+}
+
+TEST(Channel, ActiveTracksValuesInFlightUnitLatency) {
+  Channel<int> ch(1);
+  EXPECT_FALSE(ch.active());
+  ch.send(5);
+  EXPECT_TRUE(ch.active());
+  ch.advance();
+  EXPECT_TRUE(ch.active());  // value sitting on the output
+  EXPECT_EQ(ch.take().value(), 5);
+  ch.advance();  // output slot now verifiably empty
+  EXPECT_FALSE(ch.active());
+}
+
+TEST(Channel, ActiveTracksValuesInFlightPipelined) {
+  Channel<int> ch(3);
+  EXPECT_FALSE(ch.active());
+  ch.send(5);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(ch.active()) << "advance " << i;
+    ch.advance();
+  }
+  EXPECT_EQ(ch.take().value(), 5);
+  ch.advance();
+  EXPECT_FALSE(ch.active());
+}
+
+TEST(Channel, UnconsumedValueExpiresAndDeactivates) {
+  Channel<int> ch(1);
+  ch.send(5);
+  ch.advance();  // arrives, never taken
+  ch.advance();  // expires
+  EXPECT_FALSE(ch.receive().has_value());
+  EXPECT_FALSE(ch.active());
+}
+
+TEST(Kernel, SkipsInactiveChannels) {
+  Kernel k;
+  Channel<int> busy(1), idle(1);
+  k.add(&busy);
+  k.add(&idle);
+  busy.send(1);
+  k.tick();
+  EXPECT_TRUE(busy.receive().has_value());
+  EXPECT_FALSE(idle.active());  // never woke up
+}
+
 struct Counter final : Clockable {
   Cycle last = -1;
   int steps = 0;
@@ -164,6 +274,33 @@ TEST(Kernel, StepsComponentsEveryCycleInOrder) {
   EXPECT_EQ(a.steps, 25);
   EXPECT_EQ(b.steps, 25);
   EXPECT_EQ(k.now(), 25);
+}
+
+struct Sleeper final : Clockable {
+  bool asleep = false;
+  int steps = 0;
+  void step(Cycle) override { ++steps; }
+  bool quiescent() const override { return asleep; }
+};
+
+TEST(Kernel, SkipsQuiescentComponents) {
+  Kernel k;
+  Sleeper s;
+  Counter always;
+  k.add(&s);
+  k.add(&always);
+  k.run(10);
+  EXPECT_EQ(s.steps, 10);
+  EXPECT_EQ(k.last_tick_stepped(), 2);
+  s.asleep = true;
+  k.run(10);
+  EXPECT_EQ(s.steps, 10);  // skipped while quiescent
+  EXPECT_EQ(always.steps, 20);
+  EXPECT_EQ(k.last_tick_stepped(), 1);
+  s.asleep = false;
+  k.run(5);
+  EXPECT_EQ(s.steps, 15);  // back on the clock
+  EXPECT_EQ(k.last_tick_stepped(), 2);
 }
 
 TEST(DutyCounter, ComputesAverageDuty) {
