@@ -72,8 +72,11 @@ Row run_deflection(double rate) {
   // conservatively count the per-edge pipeline register.
   const double buffer_bits = router::kFlitPhysBits;  // one register per edge
   return {"deflection (bufferless)", buffer_bits,
-          static_cast<double>(net.delivered()) / (cycles * topo.num_nodes()),
-          net.injected() > 0 ? static_cast<double>(net.delivered()) / net.injected() : 1.0,
+          static_cast<double>(net.delivered()) /
+              static_cast<double>(cycles * topo.num_nodes()),
+          net.injected() > 0 ? static_cast<double>(net.delivered()) /
+                                   static_cast<double>(net.injected())
+                             : 1.0,
           net.latency().mean(), net.link_mm().mean()};
 }
 

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# One-shot hygiene gate: warnings-as-errors build, full test suite, the
+# static verifier's own positive/negative smoke, and (when clang-tidy is
+# installed) the lint target. Run from the repo root:
+#
+#   scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== configure (ci preset: -Wall -Wextra -Wshadow -Wconversion -Werror) =="
+cmake --preset ci >/dev/null
+
+echo "== build =="
+cmake --build build-ci -j"$(nproc)"
+
+echo "== tests =="
+ctest --test-dir build-ci --output-on-failure
+
+echo "== ocn-verify: paper baseline must prove deadlock freedom =="
+./build-ci/examples/ocn-verify --quiet
+
+echo "== ocn-verify: dateline-disabled radix-6 torus must find the cycle =="
+if ./build-ci/examples/ocn-verify --topology torus --no-vc-parity --radix 6 --quiet; then
+  echo "expected the verifier to reject this config" >&2
+  exit 1
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy =="
+  cmake --build build-ci --target lint
+else
+  echo "== clang-tidy not installed; skipping lint target =="
+fi
+
+echo "All checks passed."

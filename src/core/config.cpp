@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "routing/source_route.h"
 #include "topo/folded_torus.h"
 #include "topo/mesh.h"
 #include "topo/torus.h"
@@ -31,28 +32,77 @@ std::unique_ptr<topo::Topology> Config::make_topology() const {
 
 void Config::validate() const {
   auto fail = [](const std::string& why) { throw std::invalid_argument("Config: " + why); };
-  if (radix < 2) fail("radix must be >= 2");
-  if (router.vcs < 1 || router.vcs > 8) fail("vcs must be in [1,8] (8-bit VC mask)");
-  if (router.buffer_depth < 1) fail("buffer_depth must be >= 1");
-  if (link_latency < 1) fail("link_latency must be >= 1");
-  if (flit_data_bits < 1 || flit_data_bits > 256) fail("flit_data_bits must be in [1,256]");
+  if (radix < 2) {
+    fail("radix " + std::to_string(radix) + " is below the 2x2 minimum");
+  }
+  if (router.vcs < 1 || router.vcs > 8) {
+    fail("vcs = " + std::to_string(router.vcs) +
+         "; the 8-bit VC mask in the flit header supports 1..8 virtual channels");
+  }
+  if (router.buffer_depth < 1) {
+    fail("buffer_depth = " + std::to_string(router.buffer_depth) +
+         "; every VC needs at least one buffer slot");
+  }
+  if (link_latency < 1) {
+    fail("link_latency = " + std::to_string(link_latency) +
+         "; links are registered, so latency must be >= 1 cycle");
+  }
+  if (flit_data_bits < 1 || flit_data_bits > 256) {
+    fail("flit_data_bits = " + std::to_string(flit_data_bits) +
+         " outside [1,256] (the paper's maximum flit payload)");
+  }
   if (interface_partitions < 1 || flit_data_bits % interface_partitions != 0) {
-    fail("interface_partitions must divide flit_data_bits");
+    fail("interface_partitions = " + std::to_string(interface_partitions) +
+         " must be >= 1 and divide flit_data_bits = " +
+         std::to_string(flit_data_bits));
   }
   if (router.scheduled_vc < 0 || router.scheduled_vc >= router.vcs) {
-    fail("scheduled_vc out of range");
+    fail("scheduled_vc = " + std::to_string(router.scheduled_vc) +
+         " does not name one of the " + std::to_string(router.vcs) + " VCs");
   }
   const bool wraparound = topology != TopologyKind::kMesh;
   if (wraparound && router.flow_control == router::FlowControl::kVirtualChannel &&
       !router.enforce_vc_parity) {
-    fail("wraparound topologies require enforce_vc_parity (dateline deadlock avoidance)");
+    fail(std::string(topology_kind_name(topology)) +
+         " has wraparound rings, so VC flow control needs the dateline "
+         "discipline: set router.enforce_vc_parity (run ocn-verify to see the "
+         "channel-dependency cycle this rule prevents)");
   }
   if (router.enforce_vc_parity && router.vcs % 2 != 0) {
-    fail("enforce_vc_parity requires an even VC count (VC class pairs)");
+    fail("enforce_vc_parity pairs VCs as {2c, 2c+1}, so vcs = " +
+         std::to_string(router.vcs) + " must be even (or disable parity)");
   }
-  if (router.reservation_frame < 1) fail("reservation_frame must be >= 1");
-  if (link_spare_bits < 0) fail("link_spare_bits must be >= 0");
-  if (nic_queue_packets < 1) fail("nic_queue_packets must be >= 1");
+  if (router.enforce_vc_parity && router.dropping()) {
+    fail("dropping flow control keeps a packet's injection VC on every hop, "
+         "which contradicts the dateline parity discipline: disable "
+         "router.enforce_vc_parity when using FlowControl::kDropping");
+  }
+  // The longest dimension-ordered route must fit the 32-entry encoder
+  // (SourceRoute::kMaxEntries): worst case is one full traversal per
+  // dimension plus the extract entry.
+  const int per_dim = wraparound ? radix / 2 : radix - 1;
+  const int worst_entries = 2 * per_dim + 1;
+  if (worst_entries > routing::SourceRoute::kMaxEntries) {
+    fail("radix " + std::to_string(radix) + " " + topology_kind_name(topology) +
+         " needs up to " + std::to_string(worst_entries) +
+         " route entries, above the " +
+         std::to_string(routing::SourceRoute::kMaxEntries) +
+         "-entry source-route encoder; reduce the radix" +
+         (wraparound ? "" : " or use a wraparound topology (shorter worst-case "
+                            "routes)"));
+  }
+  if (router.reservation_frame < 1) {
+    fail("reservation_frame = " + std::to_string(router.reservation_frame) +
+         "; the cyclic reservation table needs at least one slot");
+  }
+  if (link_spare_bits < 0) {
+    fail("link_spare_bits = " + std::to_string(link_spare_bits) +
+         " cannot be negative");
+  }
+  if (nic_queue_packets < 1) {
+    fail("nic_queue_packets = " + std::to_string(nic_queue_packets) +
+         "; the NIC needs at least one injection-queue slot");
+  }
 }
 
 Config Config::paper_baseline() {

@@ -11,6 +11,7 @@ const char* type_name(router::FlitType t) {
     case router::FlitType::kBody: return "body";
     case router::FlitType::kTail: return "tail";
     case router::FlitType::kHeadTail: return "head_tail";
+    case router::FlitType::kCreditOnly: return "credit_only";
   }
   return "?";
 }

@@ -107,6 +107,7 @@ void OutputController::send_on_link(Flit f, bool bypass) {
   }
   if (transform_ != nullptr) transform_->apply(f);
   if (tracer_) tracer_(f, bypass);
+  if (monitor_) monitor_(f, bypass);
   link_->send(std::move(f));
 }
 

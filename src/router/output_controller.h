@@ -60,6 +60,10 @@ class OutputController {
   using Tracer = std::function<void(const Flit&, bool)>;
   void set_tracer(Tracer t) { tracer_ = std::move(t); }
 
+  /// Second observer slot, reserved for the protocol monitor
+  /// (verify::RuntimeMonitor) so monitoring composes with client tracing.
+  void set_monitor(Tracer t) { monitor_ = std::move(t); }
+
   /// Phase: absorb credits returned by the downstream input controller.
   void process_credits();
 
@@ -123,6 +127,7 @@ class OutputController {
   Channel<Credit>* credit_downstream_ = nullptr;
   LinkTransform* transform_ = nullptr;
   Tracer tracer_;
+  Tracer monitor_;
   double length_mm_ = 0.0;
 
   std::vector<int> credits_;

@@ -1,6 +1,13 @@
 #include "sim/kernel.h"
 
+#include <algorithm>
+
 namespace ocn {
+
+void Kernel::remove(Clockable* c) {
+  components_.erase(std::remove(components_.begin(), components_.end(), c),
+                    components_.end());
+}
 
 void Kernel::tick() {
   int stepped = 0;

@@ -150,6 +150,11 @@ class Kernel {
   void add(Clockable* c) { components_.push_back(c); }
   void add(ChannelBase* ch) { channels_.push_back(ch); }
 
+  /// Unregister a component (used by detachable observers like the protocol
+  /// monitor, whose lifetime is shorter than the network's). No-op when the
+  /// component was never registered.
+  void remove(Clockable* c);
+
   /// Run `cycles` cycles from the current time.
   void run(Cycle cycles);
 

@@ -1,0 +1,102 @@
+// Live protocol monitor: cross-checks a running simulation against the
+// statically verified model.
+//
+// What the verifier *proves* (verifier.h) the monitor *observes*:
+//   * every flit driven onto a link must occupy a channel of the verified
+//     CDG, follow its packet's expected port path, use a VC the allocator
+//     is allowed to grant on that hop, and (for head flits) traverse only
+//     CDG edges starting from a legal first-hop channel;
+//   * body/tail flits must ride exactly the VC their head claimed per hop
+//     (wormholes never interleave on a VC);
+//   * every output controller's credit count must stay within the statically
+//     derived bounds: 0 <= credits <= buffer_depth, and credits plus the
+//     downstream buffer occupancy never exceed the buffer depth.
+//
+// The monitor attaches non-invasively: a per-output observer hook for flit
+// hops (OutputController::set_monitor) plus a kernel-registered Clockable
+// for the per-cycle credit sweep. Destruction detaches both, so a monitor
+// can be scoped to part of a simulation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/network.h"
+#include "verify/cdg.h"
+#include "verify/verifier.h"
+
+namespace ocn::verify {
+
+class RuntimeMonitor final : public Clockable {
+ public:
+  /// Attaches to the network. The monitor must be destroyed (or the network
+  /// no longer stepped) before the network is destroyed.
+  explicit RuntimeMonitor(core::Network& net);
+  ~RuntimeMonitor() override;
+  RuntimeMonitor(const RuntimeMonitor&) = delete;
+  RuntimeMonitor& operator=(const RuntimeMonitor&) = delete;
+
+  /// Per-cycle credit-bound sweep.
+  void step(Cycle now) override;
+
+  bool ok() const { return violation_count_ == 0; }
+  std::int64_t violation_count() const { return violation_count_; }
+  /// First kMaxStored violation messages (the count keeps rising past it).
+  const std::vector<std::string>& violations() const { return violations_; }
+
+  std::int64_t hops_checked() const { return hops_checked_; }
+  std::int64_t credit_checks() const { return credit_checks_; }
+  /// Packets currently tracked mid-flight (should drain to 0 with traffic).
+  std::size_t packets_in_flight() const { return inflight_.size(); }
+
+  const Cdg& cdg() const { return cdg_; }
+
+  static constexpr int kMaxStored = 64;
+
+ private:
+  struct Track {
+    RouteExpansion expected;
+    std::vector<VcId> head_vc;   ///< VC the head used per hop
+    std::vector<int> cursor;     ///< next expected hop per flit index
+    int last_head_channel = -1;  ///< CDG node of the head's previous hop
+  };
+
+  void observe(NodeId node, topo::Port port, const router::Flit& f, bool bypass);
+  void violation(std::string msg);
+  Track& track_for(const router::Flit& f);
+
+  core::Network& net_;
+  Cdg cdg_;
+  bool dropping_ = false;
+  std::unordered_map<std::uint64_t, Track> inflight_;
+  std::vector<std::string> violations_;
+  std::int64_t violation_count_ = 0;
+  std::int64_t hops_checked_ = 0;
+  std::int64_t credit_checks_ = 0;
+};
+
+/// Network-construction option bundling the whole subsystem: run the static
+/// verifier, refuse to build when it finds errors (the exception message
+/// carries the report, including any CDG cycle), then build the network
+/// with the runtime monitor attached.
+class VerifiedNetwork {
+ public:
+  /// Throws std::invalid_argument carrying Report::to_string() when the
+  /// static proof fails.
+  explicit VerifiedNetwork(const core::Config& config);
+
+  const Report& report() const { return report_; }
+  core::Network& network() { return *net_; }
+  const core::Network& network() const { return *net_; }
+  RuntimeMonitor& monitor() { return *monitor_; }
+  const RuntimeMonitor& monitor() const { return *monitor_; }
+
+ private:
+  Report report_;
+  std::unique_ptr<core::Network> net_;
+  std::unique_ptr<RuntimeMonitor> monitor_;  // declared after net_: detaches first
+};
+
+}  // namespace ocn::verify

@@ -10,6 +10,7 @@
 
 #include "core/network.h"
 #include "sim/sweep/sweep.h"
+#include "verify/monitor.h"
 
 namespace ocn {
 namespace {
@@ -38,6 +39,8 @@ struct MatrixOutcome {
   std::int64_t expected = 0;
   int nodes_with_wrong_count = 0;
   int wrong_payloads = 0;
+  std::int64_t monitor_violations = 0;
+  std::string first_violation;
 };
 
 MatrixOutcome run_case(const MatrixCase& mc) {
@@ -49,6 +52,9 @@ MatrixOutcome run_case(const MatrixCase& mc) {
   c.router.piggyback_credits = mc.piggyback;
   c.router.speculative = mc.speculative;
   Network net(c);
+  // One monitor per network per worker thread: each instance only touches
+  // its own network, so the sweep pool stays race-free.
+  verify::RuntimeMonitor monitor(net);
   const int n = net.num_nodes();
   out.expected = static_cast<std::int64_t>(n) * (n - 1);
   out.injected_all = true;
@@ -76,6 +82,8 @@ MatrixOutcome run_case(const MatrixCase& mc) {
       }
     }
   }
+  out.monitor_violations = monitor.violation_count();
+  if (!monitor.violations().empty()) out.first_violation = monitor.violations().front();
   return out;
 }
 
@@ -107,6 +115,7 @@ TEST(ConfigMatrix, AllPairsDeliverEverywhereAllCombos) {
     EXPECT_EQ(out.delivered, out.expected);
     EXPECT_EQ(out.nodes_with_wrong_count, 0);
     EXPECT_EQ(out.wrong_payloads, 0);
+    EXPECT_EQ(out.monitor_violations, 0) << out.first_violation;
   }
 }
 

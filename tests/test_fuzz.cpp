@@ -6,6 +6,7 @@
 #include "core/network.h"
 #include "sim/rng.h"
 #include "traffic/generator.h"
+#include "verify/monitor.h"
 
 namespace ocn {
 namespace {
@@ -47,6 +48,7 @@ TEST_P(Fuzz, RandomConfigConservesRandomTraffic) {
   const Config c = random_config(rng);
   ASSERT_NO_THROW(c.validate());
   Network net(c);
+  verify::RuntimeMonitor monitor(net);
 
   traffic::HarnessOptions opt;
   opt.pattern = static_cast<traffic::Pattern>(rng.next_below(2) == 0
@@ -75,6 +77,11 @@ TEST_P(Fuzz, RandomConfigConservesRandomTraffic) {
   const auto s = net.stats();
   EXPECT_EQ(s.flits_injected, s.flits_delivered);
   EXPECT_EQ(s.packets_dropped, 0);
+  EXPECT_TRUE(monitor.ok())
+      << monitor.violation_count() << " protocol violations, first: "
+      << (monitor.violations().empty() ? "" : monitor.violations().front());
+  EXPECT_GT(monitor.hops_checked(), 0);
+  EXPECT_EQ(monitor.packets_in_flight(), 0u) << "tracked packets leaked";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz, ::testing::Range<std::uint64_t>(1, 25));

@@ -110,8 +110,8 @@ TEST_P(AllPairs, HopCountsMatchMinimalRouting) {
 INSTANTIATE_TEST_SUITE_P(Topologies, AllPairs,
                          ::testing::Values(TopologyKind::kMesh, TopologyKind::kTorus,
                                            TopologyKind::kFoldedTorus),
-                         [](const auto& info) {
-                           return std::string(core::topology_kind_name(info.param));
+                         [](const auto& param_info) {
+                           return std::string(core::topology_kind_name(param_info.param));
                          });
 
 TEST(NetworkBasic, UncontendedLatencyIsTwoCyclesPerHopPlusOverhead) {

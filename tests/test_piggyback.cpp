@@ -153,7 +153,9 @@ TEST(Piggyback, WorksOnMesh) {
   Network net(c);
   for (NodeId s = 0; s < 16; ++s) {
     for (NodeId d = 0; d < 16; ++d) {
-      if (s != d) ASSERT_TRUE(net.nic(s).inject(core::make_word_packet(d, 0, 1), net.now()));
+      if (s != d) {
+        ASSERT_TRUE(net.nic(s).inject(core::make_word_packet(d, 0, 1), net.now()));
+      }
     }
   }
   ASSERT_TRUE(net.drain(100000));

@@ -8,6 +8,7 @@
 #include "core/network.h"
 #include "traffic/generator.h"
 #include "traffic/scheduled.h"
+#include "verify/monitor.h"
 
 namespace ocn {
 namespace {
@@ -48,6 +49,7 @@ TEST_P(Stress, SaturatedNetworkDrainsLosslessly) {
   c.link_latency = sp.link_latency;
 
   Network net(c);
+  verify::RuntimeMonitor monitor(net);
   HarnessOptions opt;
   opt.pattern = sp.pattern;
   opt.injection_rate = 0.9 / sp.flits;  // far beyond saturation
@@ -64,6 +66,10 @@ TEST_P(Stress, SaturatedNetworkDrainsLosslessly) {
   EXPECT_EQ(s.packets_injected, s.packets_delivered);
   EXPECT_EQ(s.flits_injected, s.flits_delivered);
   EXPECT_EQ(s.packets_dropped, 0);
+  EXPECT_TRUE(monitor.ok())
+      << monitor.violation_count() << " protocol violations, first: "
+      << (monitor.violations().empty() ? "" : monitor.violations().front());
+  EXPECT_EQ(monitor.packets_in_flight(), 0u) << "tracked packets leaked";
 }
 
 INSTANTIATE_TEST_SUITE_P(Configs, Stress, ::testing::Range(0, 8));
@@ -73,6 +79,7 @@ TEST(StressMixed, ScheduledFlowsSurviveSaturatedDynamicTraffic) {
   c.router.exclusive_scheduled_vc = true;
   c.router.reservation_frame = 20;
   Network net(c);
+  verify::RuntimeMonitor monitor(net);
 
   std::vector<std::unique_ptr<traffic::ScheduledFlow>> flows;
   for (auto [s, d] : {std::pair<NodeId, NodeId>{0, 15}, {5, 10}, {12, 3}}) {
@@ -94,6 +101,9 @@ TEST(StressMixed, ScheduledFlowsSurviveSaturatedDynamicTraffic) {
     EXPECT_DOUBLE_EQ(f->interarrival().stddev(), 0.0)
         << f->src() << "->" << f->dst();
   }
+  EXPECT_TRUE(monitor.ok())
+      << monitor.violation_count() << " protocol violations, first: "
+      << (monitor.violations().empty() ? "" : monitor.violations().front());
 }
 
 TEST(StressMixed, AllServicesConcurrently) {
@@ -102,6 +112,7 @@ TEST(StressMixed, AllServicesConcurrently) {
   Config c = Config::paper_baseline();
   c.router.exclusive_scheduled_vc = true;
   Network net(c);
+  verify::RuntimeMonitor monitor(net);
 
   traffic::ScheduledFlow video(net, 1, 14);
   video.start();
@@ -122,6 +133,9 @@ TEST(StressMixed, AllServicesConcurrently) {
   EXPECT_EQ(s.flits_injected, s.flits_delivered);
   EXPECT_GT(video.received(), 50);
   EXPECT_DOUBLE_EQ(video.interarrival().stddev(), 0.0);
+  EXPECT_TRUE(monitor.ok())
+      << monitor.violation_count() << " protocol violations, first: "
+      << (monitor.violations().empty() ? "" : monitor.violations().front());
 }
 
 TEST(StressDetermination, IdenticalSeedsIdenticalWorlds) {
