@@ -12,6 +12,8 @@ using namespace ocn;
 
 namespace {
 
+bool g_quick = false;
+
 struct Point {
   double sat;
   double latency_at_03;
@@ -25,8 +27,8 @@ Point run_depth(int depth) {
     core::Network net(c);
     traffic::HarnessOptions opt;
     opt.injection_rate = rate;
-    opt.warmup = 500;
-    opt.measure = 3000;
+    opt.warmup = g_quick ? 200 : 500;
+    opt.measure = g_quick ? 1000 : 3000;
     opt.drain_max = 1;
     opt.seed = 61;
     traffic::LoadHarness harness(net, opt);
@@ -42,12 +44,13 @@ Point run_depth(int depth) {
 
 }  // namespace
 
-int main() {
-  bench::banner("A1", "Ablation: input buffer depth",
+int main(int argc, char** argv) {
+  bench::BenchReporter rep(argc, argv, "A1", "Ablation: input buffer depth",
                 "buffer space dominates router area (section 2.4) and is the "
                 "knob section 3.2 wants minimized");
+  g_quick = rep.quick();
 
-  bench::section("depth sweep, uniform traffic, 4x4 folded torus");
+  rep.section("depth sweep, uniform traffic, 4x4 folded torus");
   TablePrinter t({"depth", "buffer bits/edge", "% of tile", "sat throughput",
                   "latency @0.3"});
   double sat1 = 0, sat4 = 0;
@@ -62,14 +65,18 @@ int main() {
                bench::fmt(area.input_buffer_bits_per_edge + area.output_buffer_bits_per_edge, 0),
                bench::fmt(100 * area.fraction_of_tile, 2), bench::fmt(p.sat, 3),
                bench::fmt(p.latency_at_03, 1)});
+    rep.metric("depth." + std::to_string(depth) + ".sat", p.sat);
+    rep.metric("depth." + std::to_string(depth) + ".latency_at_03", p.latency_at_03);
   }
-  t.print();
+  rep.table("depth_sweep", t);
 
-  bench::section("paper-vs-measured");
-  bench::verdict("depth 4 is the knee of the curve", "design point",
+  rep.section("paper-vs-measured");
+  rep.verdict("depth 4 is the knee of the curve", "design point",
                  bench::fmt(sat4 / sat1, 2) + "x depth-1 throughput; flat beyond",
                  sat4 > 1.05 * sat1);
-  bench::verdict("returns diminish past the credit round trip", "(expected)",
+  rep.verdict("returns diminish past the credit round trip", "(expected)",
                  "see depth 8/16 rows", true);
-  return 0;
+  rep.metric("sat_ratio_4_vs_1", sat4 / sat1);
+  rep.timing(10 * (g_quick ? 1200 : 3500));
+  return rep.finish(0);
 }

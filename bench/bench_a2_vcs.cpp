@@ -13,6 +13,8 @@ using namespace ocn;
 
 namespace {
 
+bool g_quick = false;
+
 double saturation(int vcs) {
   core::Config c = core::Config::paper_baseline();
   c.router.vcs = vcs;
@@ -20,8 +22,8 @@ double saturation(int vcs) {
   core::Network net(c);
   traffic::HarnessOptions opt;
   opt.injection_rate = 0.9;
-  opt.warmup = 500;
-  opt.measure = 3000;
+  opt.warmup = g_quick ? 200 : 500;
+  opt.measure = g_quick ? 1000 : 3000;
   opt.drain_max = 1;
   opt.seed = 67;
   // Use only the classes that exist: vcs/2 classes.
@@ -33,12 +35,13 @@ double saturation(int vcs) {
 
 }  // namespace
 
-int main() {
-  bench::banner("A2", "Ablation: virtual channel count",
+int main(int argc, char** argv) {
+  bench::BenchReporter rep(argc, argv, "A2", "Ablation: virtual channel count",
                 "8 VCs = 4 classes x 2 dateline halves; VC count trades "
                 "buffer area for link utilization and service classes");
+  g_quick = rep.quick();
 
-  bench::section("saturation throughput (uniform, rate 0.9 offered)");
+  rep.section("saturation throughput (uniform, rate 0.9 offered)");
   TablePrinter t({"vcs", "classes", "buffer bits/edge", "% of tile", "sat throughput"});
   double sat2 = 0, sat8 = 0;
   for (int vcs : {2, 4, 8}) {
@@ -51,13 +54,16 @@ int main() {
     t.add_row({std::to_string(vcs), std::to_string(vcs / 2),
                bench::fmt(area.input_buffer_bits_per_edge + area.output_buffer_bits_per_edge, 0),
                bench::fmt(100 * area.fraction_of_tile, 2), bench::fmt(sat, 3)});
+    rep.metric("vcs." + std::to_string(vcs) + ".sat", sat);
   }
-  t.print();
+  rep.table("vc_sweep", t);
 
-  bench::section("paper-vs-measured");
-  bench::verdict("8 VCs outperform 2 on the torus", "design point",
+  rep.section("paper-vs-measured");
+  rep.verdict("8 VCs outperform 2 on the torus", "design point",
                  bench::fmt(sat8 / sat2, 2) + "x", sat8 > 1.3 * sat2);
-  bench::verdict("VC area cost is linear in count", "buffers dominate",
+  rep.verdict("VC area cost is linear in count", "buffers dominate",
                  "see area column", true);
-  return 0;
+  rep.metric("sat_ratio_8_vs_2", sat8 / sat2);
+  rep.timing(3 * (g_quick ? 1200 : 3500));
+  return rep.finish(0);
 }

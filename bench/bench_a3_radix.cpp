@@ -13,6 +13,8 @@ using namespace ocn;
 
 namespace {
 
+bool g_quick = false;
+
 struct Point {
   double hops;
   double lat_low;
@@ -27,8 +29,8 @@ Point run_k(int k) {
     core::Network net(c);
     traffic::HarnessOptions opt;
     opt.injection_rate = rate;
-    opt.warmup = 500;
-    opt.measure = 2500;
+    opt.warmup = g_quick ? 200 : 500;
+    opt.measure = g_quick ? 800 : 2500;
     opt.drain_max = 1;
     opt.seed = 71;
     traffic::LoadHarness harness(net, opt);
@@ -45,12 +47,13 @@ Point run_k(int k) {
 
 }  // namespace
 
-int main() {
-  bench::banner("A3", "Ablation: network radix (k x k folded torus)",
+int main(int argc, char** argv) {
+  bench::BenchReporter rep(argc, argv, "A3", "Ablation: network radix (k x k folded torus)",
                 "hops ~ k/2, zero-load latency ~ 2 cycles/hop, per-node "
                 "uniform throughput ~ 4/k on the bisection");
+  g_quick = rep.quick();
 
-  bench::section("radix sweep, uniform traffic");
+  rep.section("radix sweep, uniform traffic");
   TablePrinter t({"k", "nodes", "sim hops", "analytic k/2*16/15...", "lat @0.05",
                   "sat throughput", "torus/mesh power"});
   const phys::PowerModel pm(phys::default_technology());
@@ -61,20 +64,26 @@ int main() {
     t.add_row({std::to_string(k), std::to_string(k * k), bench::fmt(p.hops, 2),
                bench::fmt(analytic, 2), bench::fmt(p.lat_low, 1), bench::fmt(p.sat, 3),
                bench::fmt(pm.torus_overhead(k, router::kFlitPhysBits), 3)});
+    rep.metric("k" + std::to_string(k) + ".hops", p.hops);
+    rep.metric("k" + std::to_string(k) + ".sat", p.sat);
   }
-  t.print();
+  rep.table("radix_sweep", t);
 
-  bench::section("paper-vs-measured");
+  rep.section("paper-vs-measured");
   const Point k4 = run_k(4);
   const Point k8 = run_k(8);
-  bench::verdict("hops scale with k", "k/2 per paper approximations",
+  rep.verdict("hops scale with k", "k/2 per paper approximations",
                  bench::fmt(k8.hops / k4.hops, 2) + "x from k=4 to k=8",
                  k8.hops / k4.hops > 1.7 && k8.hops / k4.hops < 2.2);
-  bench::verdict("per-node throughput falls with k (shared bisection)", "~1/k",
+  rep.verdict("per-node throughput falls with k (shared bisection)", "~1/k",
                  bench::fmt(k4.sat, 2) + " -> " + bench::fmt(k8.sat, 2),
                  k8.sat < k4.sat);
-  bench::verdict("torus power overhead stays <15% for all k", "paper regime",
+  rep.verdict("torus power overhead stays <15% for all k", "paper regime",
                  bench::fmt(100 * (pm.torus_overhead(8, 300) - 1), 1) + "% at k=8",
                  pm.torus_overhead(8, 300) < 1.15);
-  return 0;
+  rep.metric("hops_ratio_k8_vs_k4", k8.hops / k4.hops);
+  rep.metric("sat_k4", k4.sat);
+  rep.metric("sat_k8", k8.sat);
+  rep.timing(12 * (g_quick ? 1000 : 3000));
+  return rep.finish(0);
 }

@@ -14,13 +14,15 @@ using namespace ocn;
 
 namespace {
 
+bool g_quick = false;
+
 double single_vc_rate(int depth, int link_latency) {
   core::Config c = core::Config::paper_baseline();
   c.router.buffer_depth = depth;
   c.link_latency = link_latency;
   c.nic_queue_packets = 512;
   core::Network net(c);
-  const int n = 200;
+  const int n = g_quick ? 80 : 200;
   for (int i = 0; i < n; ++i) {
     net.nic(0).inject(core::make_word_packet(2, 0, 1), net.now());
   }
@@ -32,13 +34,14 @@ double single_vc_rate(int depth, int link_latency) {
 
 }  // namespace
 
-int main() {
-  bench::banner("A4", "Ablation: credit round trip vs buffer depth",
+int main(int argc, char** argv) {
+  bench::BenchReporter rep(argc, argv, "A4", "Ablation: credit round trip vs buffer depth",
                 "per-VC throughput = depth / round-trip until the VC "
                 "turnaround cap; local credit loops would cut the depth "
                 "needed");
+  g_quick = rep.quick();
 
-  bench::section("measured single-VC throughput (one class, one pair)");
+  rep.section("measured single-VC throughput (one class, one pair)");
   TablePrinter t({"link latency", "round trip est", "depth 1", "depth 2", "depth 4",
                   "depth 8"});
   for (int ll : {1, 2, 4, 8}) {
@@ -50,27 +53,31 @@ int main() {
     }
     t.add_row(row);
   }
-  t.print();
+  rep.table("throughput_vs_depth", t);
 
-  bench::section("buffers needed for full per-VC rate (analytic)");
+  rep.section("buffers needed for full per-VC rate (analytic)");
   TablePrinter b({"link latency", "depth needed (= round trip)",
                   "with local credit loops (per-segment)"});
   for (int ll : {1, 4, 8}) {
     b.add_row({std::to_string(ll), std::to_string(2 * ll + 1),
                "~3 per segment (loop length independent of link)"});
   }
-  b.print();
+  rep.table("buffers_needed", b);
 
-  bench::section("paper-vs-measured");
+  rep.section("paper-vs-measured");
   const double r1 = single_vc_rate(1, 4);
   const double r2 = single_vc_rate(2, 4);
   const double r4 = single_vc_rate(4, 4);
-  bench::verdict("throughput linear in depth below the cap", "depth/round-trip",
+  rep.verdict("throughput linear in depth below the cap", "depth/round-trip",
                  bench::fmt(r1, 3) + " / " + bench::fmt(r2, 3) + " / " + bench::fmt(r4, 3),
                  r2 > 1.8 * r1 && r4 > 1.8 * r2);
-  bench::verdict("matches 1/9, 2/9, 4/9 at link latency 4", "(model)",
+  rep.verdict("matches 1/9, 2/9, 4/9 at link latency 4", "(model)",
                  bench::fmt(r1 * 9, 2) + ", " + bench::fmt(r2 * 9 / 2, 2) + ", " +
                      bench::fmt(r4 * 9 / 4, 2) + " (x/9 normalized)",
                  std::abs(r1 * 9 - 1.0) < 0.15);
-  return 0;
+  rep.metric("rate_depth1_ll4", r1);
+  rep.metric("rate_depth2_ll4", r2);
+  rep.metric("rate_depth4_ll4", r4);
+  rep.timing(19 * 2000);
+  return rep.finish(0);
 }

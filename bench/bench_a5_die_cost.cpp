@@ -13,15 +13,15 @@
 using namespace ocn;
 using namespace ocn::phys;
 
-int main() {
-  bench::banner("A5", "Tile quantization: die cost of fixed tiles vs compaction",
+int main(int argc, char** argv) {
+  bench::BenchReporter rep(argc, argv, "A5", "Tile quantization: die cost of fixed tiles vs compaction",
                 "fixed tiles waste area but not yield; compaction recovers "
                 "die cost for high-volume parts");
 
   const Technology tech = default_technology();
   const DieCostModel model(tech);
 
-  bench::section("16 clients with mixed sizes (fraction of a 9mm^2 tile)");
+  rep.section("16 clients with mixed sizes (fraction of a 9mm^2 tile)");
   // A realistic SoC mix: a few large cores, mid-size DSPs, small peripherals.
   std::vector<double> clients;
   Rng rng(123);
@@ -42,18 +42,22 @@ int main() {
              bench::fmt(100 * packed.utilization, 1) + "%",
              std::to_string(packed.dies_per_wafer), bench::fmt(100 * packed.yield, 1) + "%",
              bench::fmt(packed.good_dies_per_wafer, 0)});
-  t.print();
+  rep.table("die_cost", t);
 
-  bench::section("paper-vs-measured");
-  bench::verdict("empty silicon does not impact yield", "yield unchanged",
+  rep.section("paper-vs-measured");
+  rep.verdict("empty silicon does not impact yield", "yield unchanged",
                  bench::fmt(100 * fixed.yield, 1) + "% = " +
                      bench::fmt(100 * packed.yield, 1) + "%",
                  std::abs(fixed.yield - packed.yield) < 1e-9);
-  bench::verdict("compaction recovers dies per wafer", "smaller die",
+  rep.verdict("compaction recovers dies per wafer", "smaller die",
                  bench::fmt(packed.good_dies_per_wafer / fixed.good_dies_per_wafer, 2) +
                      "x good dies",
                  packed.good_dies_per_wafer > fixed.good_dies_per_wafer);
-  bench::verdict("fixed tiles trade area for design time", "acceptable for first spin",
+  rep.verdict("fixed tiles trade area for design time", "acceptable for first spin",
                  bench::fmt(100 * (1 - fixed.utilization), 1) + "% die wasted", true);
-  return 0;
+  rep.metric("fixed.utilization", fixed.utilization);
+  rep.metric("packed.utilization", packed.utilization);
+  rep.metric("good_dies_ratio", packed.good_dies_per_wafer / fixed.good_dies_per_wafer);
+  rep.timing(0);
+  return rep.finish(0);
 }

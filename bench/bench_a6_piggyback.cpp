@@ -13,6 +13,8 @@ using namespace ocn;
 
 namespace {
 
+bool g_quick = false;
+
 struct Point {
   double accepted;
   double latency;
@@ -25,8 +27,8 @@ Point run(bool piggyback, double rate) {
   core::Network net(c);
   traffic::HarnessOptions opt;
   opt.injection_rate = rate;
-  opt.warmup = 500;
-  opt.measure = 4000;
+  opt.warmup = g_quick ? 200 : 500;
+  opt.measure = g_quick ? 1200 : 4000;
   opt.drain_max = 1;
   opt.seed = 41;
   traffic::LoadHarness harness(net, opt);
@@ -42,12 +44,13 @@ Point run(bool piggyback, double rate) {
 
 }  // namespace
 
-int main() {
-  bench::banner("A6", "Ablation: piggybacked credits vs dedicated credit wire",
+int main(int argc, char** argv) {
+  bench::BenchReporter rep(argc, argv, "A6", "Ablation: piggybacked credits vs dedicated credit wire",
                 "piggybacking spends no wires; credit-only filler flits "
                 "cover idle reverse links");
+  g_quick = rep.quick();
 
-  bench::section("load sweep, uniform traffic");
+  rep.section("load sweep, uniform traffic");
   TablePrinter t({"offered", "dedicated: accepted/lat", "piggyback: accepted/lat",
                   "credit-only flits"});
   double ded_sat = 0, pig_sat = 0;
@@ -61,24 +64,29 @@ int main() {
                bench::fmt(p.accepted, 3) + " / " + bench::fmt(p.latency, 1),
                std::to_string(p.credit_only)});
   }
-  t.print();
+  rep.table("load_sweep", t);
 
-  bench::section("wiring cost");
+  rep.section("wiring cost");
   TablePrinter w({"scheme", "credit wires per link"});
   w.add_row({"dedicated credit wire", "~4 (vc id + valid)"});
   w.add_row({"piggybacked (paper)", "0 (uses reverse-flit control field)"});
-  w.print();
+  rep.table("wiring_cost", w);
 
-  bench::section("paper-vs-measured");
+  rep.section("paper-vs-measured");
   const Point low_d = run(false, 0.05);
   const Point low_p = run(true, 0.05);
-  bench::verdict("saturation throughput unchanged", "equal loops",
+  rep.verdict("saturation throughput unchanged", "equal loops",
                  bench::fmt(pig_sat, 3) + " vs " + bench::fmt(ded_sat, 3),
                  std::abs(pig_sat - ded_sat) < 0.05);
-  bench::verdict("low-load latency cost", "small",
+  rep.verdict("low-load latency cost", "small",
                  bench::fmt(low_p.latency - low_d.latency, 2) + " cycles",
                  low_p.latency - low_d.latency < 1.5);
-  bench::verdict("credit-only flits appear when reverse links idle", "filler mechanism",
+  rep.verdict("credit-only flits appear when reverse links idle", "filler mechanism",
                  std::to_string(low_p.credit_only) + " flits", low_p.credit_only > 0);
-  return 0;
+  rep.metric("dedicated_saturation", ded_sat);
+  rep.metric("piggyback_saturation", pig_sat);
+  rep.metric("low_load_latency_cost", low_p.latency - low_d.latency);
+  rep.metric("credit_only_flits_low_load", static_cast<double>(low_p.credit_only));
+  rep.timing(12 * (g_quick ? 1400 : 4500));
+  return rep.finish(0);
 }

@@ -13,6 +13,8 @@ using namespace ocn;
 
 namespace {
 
+bool g_quick = false;
+
 struct Point {
   double latency;
   double accepted;
@@ -24,8 +26,8 @@ Point run(bool speculative, double rate) {
   core::Network net(c);
   traffic::HarnessOptions opt;
   opt.injection_rate = rate;
-  opt.warmup = 500;
-  opt.measure = 4000;
+  opt.warmup = g_quick ? 200 : 500;
+  opt.measure = g_quick ? 1200 : 4000;
   opt.drain_max = 1;
   opt.seed = 53;
   traffic::LoadHarness harness(net, opt);
@@ -44,21 +46,22 @@ Cycle one_hop_latency(bool speculative) {
 
 }  // namespace
 
-int main() {
-  bench::banner("A7", "Ablation: speculative vs two-stage router pipeline",
+int main(int argc, char** argv) {
+  bench::BenchReporter rep(argc, argv, "A7", "Ablation: speculative vs two-stage router pipeline",
                 "overlapping route-strip, VC allocation and switch "
                 "arbitration saves one cycle per hop");
+  g_quick = rep.quick();
 
-  bench::section("per-hop latency (uncontended)");
+  rep.section("per-hop latency (uncontended)");
   TablePrinter h({"pipeline", "1-hop pkt latency", "per-hop cost"});
   const Cycle spec1 = one_hop_latency(true);
   const Cycle cons1 = one_hop_latency(false);
   h.add_row({"speculative (paper)", bench::fmt(static_cast<double>(spec1), 0),
              "1 cycle/router"});
   h.add_row({"two-stage", bench::fmt(static_cast<double>(cons1), 0), "2 cycles/router"});
-  h.print();
+  rep.table("one_hop_latency", h);
 
-  bench::section("load sweep, uniform traffic");
+  rep.section("load sweep, uniform traffic");
   TablePrinter t({"offered", "speculative lat", "two-stage lat", "spec accepted",
                   "two-stage accepted"});
   for (double rate : {0.05, 0.2, 0.4, 0.6, 0.8}) {
@@ -67,17 +70,21 @@ int main() {
     t.add_row({bench::fmt(rate, 2), bench::fmt(s.latency, 1), bench::fmt(c.latency, 1),
                bench::fmt(s.accepted, 3), bench::fmt(c.accepted, 3)});
   }
-  t.print();
+  rep.table("load_sweep", t);
 
-  bench::section("paper-vs-measured");
-  bench::verdict("speculation saves one cycle per router", "overlap (section 2.3)",
+  rep.section("paper-vs-measured");
+  rep.verdict("speculation saves one cycle per router", "overlap (section 2.3)",
                  bench::fmt(static_cast<double>(cons1 - spec1), 0) +
                      " cycles over 2 routers (1 link)",
                  cons1 - spec1 == 2);
   const Point s = run(true, 0.05);
   const Point c = run(false, 0.05);
-  bench::verdict("zero-load latency gap ~ hops", "~2 cycles at 2.1 avg hops",
+  rep.verdict("zero-load latency gap ~ hops", "~2 cycles at 2.1 avg hops",
                  bench::fmt(c.latency - s.latency, 1) + " cycles",
                  c.latency - s.latency > 1.0);
-  return 0;
+  rep.metric("one_hop_speculative", static_cast<double>(spec1));
+  rep.metric("one_hop_two_stage", static_cast<double>(cons1));
+  rep.metric("zero_load_latency_gap", c.latency - s.latency);
+  rep.timing(12 * (g_quick ? 1400 : 4500));
+  return rep.finish(0);
 }

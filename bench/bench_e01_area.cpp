@@ -15,8 +15,8 @@
 using namespace ocn;
 using namespace ocn::phys;
 
-int main() {
-  bench::banner("E1", "Router area model",
+int main(int argc, char** argv) {
+  bench::BenchReporter rep(argc, argv, "E1", "Router area model",
                 "0.59 mm^2 per router = 6.6% of tile; ~1e4 buffer bits/edge; "
                 "<=50um strip; ~3000/6000 tracks");
 
@@ -24,7 +24,7 @@ int main() {
   const AreaModel model(tech, RouterAreaParams{});
   const AreaBreakdown a = model.evaluate();
 
-  bench::section("per-edge breakdown (paper example network)");
+  rep.section("per-edge breakdown (paper example network)");
   TablePrinter t({"component", "area um^2/edge", "share"});
   auto share = [&](double v) { return bench::fmt(100.0 * v / a.total_area_um2_per_edge, 1) + "%"; };
   t.add_row({"VC input buffers + output stages", bench::fmt(a.buffer_area_um2_per_edge, 0),
@@ -36,9 +36,9 @@ int main() {
   t.add_row({"steering, reservation regs, clocking", bench::fmt(a.fixed_area_um2_per_edge, 0),
              share(a.fixed_area_um2_per_edge)});
   t.add_row({"total", bench::fmt(a.total_area_um2_per_edge, 0), "100%"});
-  t.print();
+  rep.table("per_edge_breakdown", t);
 
-  bench::section("scaling: buffer depth x VCs x flit width");
+  rep.section("scaling: buffer depth x VCs x flit width");
   TablePrinter s({"vcs", "depth", "flit bits", "buffer bits/edge", "strip um", "% of tile"});
   for (int vcs : {2, 4, 8}) {
     for (int depth : {1, 2, 4, 8}) {
@@ -54,21 +54,27 @@ int main() {
       }
     }
   }
-  s.print();
+  rep.table("scaling", s);
 
-  bench::section("paper-vs-measured");
+  rep.section("paper-vs-measured");
   const double buffer_bits = a.input_buffer_bits_per_edge + a.output_buffer_bits_per_edge;
-  bench::verdict("buffer bits per tile edge", "~1e4", bench::fmt(buffer_bits, 0),
+  rep.verdict("buffer bits per tile edge", "~1e4", bench::fmt(buffer_bits, 0),
                  buffer_bits > 9e3 && buffer_bits < 1.2e4);
-  bench::verdict("strip width per edge", "<50 um", bench::fmt(a.strip_width_um, 1) + " um",
+  rep.verdict("strip width per edge", "<50 um", bench::fmt(a.strip_width_um, 1) + " um",
                  a.strip_width_um < 50.0);
-  bench::verdict("router area", "0.59 mm^2", bench::fmt(a.router_area_mm2, 3) + " mm^2",
+  rep.verdict("router area", "0.59 mm^2", bench::fmt(a.router_area_mm2, 3) + " mm^2",
                  a.router_area_mm2 > 0.54 && a.router_area_mm2 < 0.64);
-  bench::verdict("fraction of tile", "6.6%", bench::fmt(100 * a.fraction_of_tile, 2) + "%",
+  rep.verdict("fraction of tile", "6.6%", bench::fmt(100 * a.fraction_of_tile, 2) + "%",
                  a.fraction_of_tile > 0.059 && a.fraction_of_tile < 0.073);
-  bench::verdict("top-metal tracks used per edge", "~3000 of 6000",
+  rep.verdict("top-metal tracks used per edge", "~3000 of 6000",
                  std::to_string(a.tracks_used_per_edge) + " of " +
                      std::to_string(a.tracks_available_per_edge),
                  a.tracks_used_per_edge > 2700 && a.tracks_used_per_edge < 3300);
-  return 0;
+  rep.metric("buffer_bits_per_edge", buffer_bits);
+  rep.metric("strip_width_um", a.strip_width_um);
+  rep.metric("router_area_mm2", a.router_area_mm2);
+  rep.metric("fraction_of_tile", a.fraction_of_tile);
+  rep.metric("tracks_used_per_edge", a.tracks_used_per_edge);
+  rep.timing(0);
+  return rep.finish(0);
 }

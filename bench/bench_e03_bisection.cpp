@@ -13,6 +13,8 @@ using namespace ocn;
 
 namespace {
 
+bool g_quick = false;
+
 double accepted_at(core::TopologyKind kind, double rate, traffic::Pattern pattern) {
   core::Config c = core::Config::paper_baseline();
   c.topology = kind;
@@ -21,8 +23,8 @@ double accepted_at(core::TopologyKind kind, double rate, traffic::Pattern patter
   traffic::HarnessOptions opt;
   opt.pattern = pattern;
   opt.injection_rate = rate;
-  opt.warmup = 1000;
-  opt.measure = 3000;
+  opt.warmup = g_quick ? 300 : 1000;
+  opt.measure = g_quick ? 1000 : 3000;
   opt.drain_max = 1;  // saturation study: no drain
   opt.seed = 5;
   traffic::LoadHarness harness(net, opt);
@@ -31,10 +33,11 @@ double accepted_at(core::TopologyKind kind, double rate, traffic::Pattern patter
 
 }  // namespace
 
-int main() {
-  bench::banner("E3", "Bisection bandwidth, folded torus vs mesh",
+int main(int argc, char** argv) {
+  bench::BenchReporter rep(argc, argv, "E3", "Bisection bandwidth, folded torus vs mesh",
                 "torus has 2x the bisection channels and ~2x saturation "
                 "throughput on bisection-bound traffic");
+  g_quick = rep.quick();
 
   double mesh_mm = 0, torus_mm = 0;
   {
@@ -43,7 +46,7 @@ int main() {
     c.topology = core::TopologyKind::kMesh;
     c.router.enforce_vc_parity = false;
     const auto mesh = c.make_topology();
-    bench::section("structural bisection (unidirectional channels across the middle)");
+    rep.section("structural bisection (unidirectional channels across the middle)");
     TablePrinter t({"topology", "bisection channels", "total channels", "wire demand mm"});
     for (const auto& ch : mesh->channels()) mesh_mm += ch.length_mm;
     for (const auto& ch : torus->channels()) torus_mm += ch.length_mm;
@@ -51,10 +54,10 @@ int main() {
                std::to_string(mesh->channels().size()), bench::fmt(mesh_mm, 0)});
     t.add_row({"folded torus", std::to_string(torus->bisection_channels()),
                std::to_string(torus->channels().size()), bench::fmt(torus_mm, 0)});
-    t.print();
+    rep.table("structural_bisection", t);
   }
 
-  bench::section("accepted vs offered, bit-complement (all traffic crosses bisection)");
+  rep.section("accepted vs offered, bit-complement (all traffic crosses bisection)");
   TablePrinter t({"offered", "mesh accepted", "torus accepted", "torus/mesh"});
   double mesh_sat = 0, torus_sat = 0;
   for (double rate : {0.2, 0.4, 0.5, 0.6, 0.8, 1.0}) {
@@ -66,9 +69,9 @@ int main() {
     t.add_row({bench::fmt(rate, 2), bench::fmt(m, 3), bench::fmt(o, 3),
                bench::fmt(o / m, 2)});
   }
-  t.print();
+  rep.table("bit_complement_load", t);
 
-  bench::section("accepted vs offered, uniform traffic");
+  rep.section("accepted vs offered, uniform traffic");
   TablePrinter u({"offered", "mesh accepted", "torus accepted"});
   for (double rate : {0.2, 0.4, 0.6, 0.8}) {
     u.add_row({bench::fmt(rate, 2),
@@ -77,15 +80,19 @@ int main() {
                bench::fmt(accepted_at(core::TopologyKind::kFoldedTorus, rate,
                                       traffic::Pattern::kUniform), 3)});
   }
-  u.print();
+  rep.table("uniform_load", u);
 
-  bench::section("paper-vs-measured");
-  bench::verdict("bisection channel ratio", "2x", "2x (16 vs 8)", true);
-  bench::verdict("saturation throughput ratio, bit-complement", "~2x",
+  rep.section("paper-vs-measured");
+  rep.verdict("bisection channel ratio", "2x", "2x (16 vs 8)", true);
+  rep.verdict("saturation throughput ratio, bit-complement", "~2x",
                  bench::fmt(torus_sat / mesh_sat, 2) + "x",
                  torus_sat / mesh_sat > 1.6);
-  bench::verdict("wire demand ratio (torus/mesh)", "2x",
+  rep.verdict("wire demand ratio (torus/mesh)", "2x",
                  bench::fmt(torus_mm / mesh_mm, 2) + "x",
                  torus_mm / mesh_mm > 1.8 && torus_mm / mesh_mm < 2.2);
-  return 0;
+  rep.metric("mesh_saturation_flits", mesh_sat);
+  rep.metric("torus_saturation_flits", torus_sat);
+  rep.metric("wire_demand_ratio", torus_mm / mesh_mm);
+  rep.timing(0);
+  return rep.finish(0);
 }

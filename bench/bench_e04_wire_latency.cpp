@@ -22,8 +22,8 @@
 using namespace ocn;
 using namespace ocn::phys;
 
-int main() {
-  bench::banner("E4", "Low-swing circuits; network vs dedicated wire latency",
+int main(int argc, char** argv) {
+  bench::BenchReporter rep(argc, argv, "E4", "Low-swing circuits; network vs dedicated wire latency",
                 "10x power, 3x velocity, 3x repeater spacing; pre-scheduled "
                 "network latency competitive with dedicated wires");
 
@@ -32,7 +32,7 @@ int main() {
   const SignalingModel low(tech, SignalingKind::kLowSwing);
   const SignalingModel full(tech, SignalingKind::kFullSwing);
 
-  bench::section("transceiver family comparison");
+  rep.section("transceiver family comparison");
   TablePrinter f({"family", "pJ/bit/mm", "velocity ps/mm", "repeater spacing mm",
                   "repeaters per 12mm"});
   f.add_row({"full-swing static CMOS", bench::fmt(full.energy_pj_per_bit_mm(), 3),
@@ -43,9 +43,9 @@ int main() {
              bench::fmt(low.velocity_ps_per_mm(), 1),
              bench::fmt(low.repeater_spacing_mm(), 2),
              std::to_string(low.repeater_count(12.0))});
-  f.print();
+  rep.table("transceiver_families", f);
 
-  bench::section("latency across the die (per-bit path delay, ps)");
+  rep.section("latency across the die (per-bit path delay, ps)");
   // Network path: distance/tile hops, each adding the bypass mux delay.
   TablePrinter t({"distance mm", "dedicated full-swing", "unrepeated full-swing",
                   "net pre-scheduled", "net dynamic (1GHz cycles)"});
@@ -61,9 +61,9 @@ int main() {
                bench::fmt(scheduled, 0),
                bench::fmt(dynamic_cycles * tech.clock_period_ps(), 0)});
   }
-  t.print();
+  rep.table("die_crossing_latency", t);
 
-  bench::section("simulated scheduled-flow latency (cycles, 4x4 folded torus)");
+  rep.section("simulated scheduled-flow latency (cycles, 4x4 folded torus)");
   {
     core::Config c = core::Config::paper_baseline();
     c.router.exclusive_scheduled_vc = true;
@@ -76,24 +76,32 @@ int main() {
     s.add_row({"0 -> 5", std::to_string(net.topology().min_hops(0, 5)),
                bench::fmt(flow.latency().mean(), 1),
                bench::fmt(flow.latency().stddev(), 2)});
-    s.print();
+    rep.table("scheduled_flow", s);
+    rep.metric("scheduled_flow.latency_mean", flow.latency().mean());
+    rep.metric("scheduled_flow.jitter", flow.latency().stddev());
   }
 
-  bench::section("paper-vs-measured");
-  bench::verdict("low-swing power reduction", "~10x",
+  rep.section("paper-vs-measured");
+  rep.verdict("low-swing power reduction", "~10x",
                  bench::fmt(SignalingModel::power_ratio(tech), 1) + "x",
                  SignalingModel::power_ratio(tech) > 9 && SignalingModel::power_ratio(tech) < 11);
-  bench::verdict("low-swing velocity gain", "~3x",
+  rep.verdict("low-swing velocity gain", "~3x",
                  bench::fmt(SignalingModel::velocity_ratio(tech), 2) + "x", true);
-  bench::verdict("repeater spacing gain", "~3x",
+  rep.verdict("repeater spacing gain", "~3x",
                  bench::fmt(SignalingModel::spacing_ratio(tech), 2) + "x", true);
-  bench::verdict("3mm tile crossed without repeater (low-swing)", "yes",
+  rep.verdict("3mm tile crossed without repeater (low-swing)", "yes",
                  low.repeater_count(3.0) == 0 ? "yes" : "no",
                  low.repeater_count(3.0) == 0);
   const double net12 = 4 * tech.router_mux_delay_ps + low.delay_ps(12.0);
   const double ded12 = wires.dedicated_wire_delay_ps(12.0);
-  bench::verdict("pre-scheduled net beats dedicated wire at 12mm", "yes",
+  rep.verdict("pre-scheduled net beats dedicated wire at 12mm", "yes",
                  bench::fmt(net12, 0) + " vs " + bench::fmt(ded12, 0) + " ps",
                  net12 < ded12);
-  return 0;
+  rep.metric("low_swing.power_ratio", SignalingModel::power_ratio(tech));
+  rep.metric("low_swing.velocity_ratio", SignalingModel::velocity_ratio(tech));
+  rep.metric("low_swing.spacing_ratio", SignalingModel::spacing_ratio(tech));
+  rep.metric("net12_ps", net12);
+  rep.metric("dedicated12_ps", ded12);
+  rep.timing(16 * 30);
+  return rep.finish(0);
 }

@@ -17,6 +17,8 @@ using namespace ocn;
 
 namespace {
 
+bool g_quick = false;
+
 struct Result {
   double mean_latency_cycles;
   double max_latency_cycles;
@@ -33,7 +35,7 @@ Result run_with_load(double background_rate, std::uint64_t seed) {
   opt.randomize_class = false;
   opt.service_class = 0;
   opt.warmup = 0;
-  opt.measure = 4000;
+  opt.measure = g_quick ? 1200 : 4000;
   opt.drain_max = 1;
   opt.seed = seed;
   traffic::LoadHarness harness(net, opt);
@@ -59,12 +61,13 @@ Result run_with_load(double background_rate, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
-  bench::banner("E5", "Logical wires over the network",
+int main(int argc, char** argv) {
+  bench::BenchReporter rep(argc, argv, "E5", "Logical wires over the network",
                 "wire-state transport latency competitive with dedicated "
                 "wires; high priority overtakes bulk traffic");
+  g_quick = rep.quick();
 
-  bench::section("update latency vs background bulk load (4-flit class-0 packets)");
+  rep.section("update latency vs background bulk load (4-flit class-0 packets)");
   TablePrinter t({"background flits/node/cyc", "updates", "mean latency cyc",
                   "max latency cyc"});
   double idle_mean = 0, loaded_mean = 0;
@@ -75,9 +78,9 @@ int main() {
     t.add_row({bench::fmt(rate, 2), std::to_string(r.updates),
                bench::fmt(r.mean_latency_cycles, 1), bench::fmt(r.max_latency_cycles, 0)});
   }
-  t.print();
+  rep.table("latency_vs_background_load", t);
 
-  bench::section("comparison with a dedicated wire (1 GHz router clock)");
+  rep.section("comparison with a dedicated wire (1 GHz router clock)");
   {
     const phys::Technology tech = phys::default_technology();
     const phys::WireModel wires(tech);
@@ -93,14 +96,18 @@ int main() {
                bench::fmt(wires.dedicated_wire_delay_ps(mm) / 1000.0, 3)});
     d.add_row({"logical wire service (idle network)",
                bench::fmt(idle_mean * tech.clock_period_ps() / 1000.0, 3)});
-    d.print();
+    rep.table("dedicated_wire_comparison", d);
   }
 
-  bench::section("paper-vs-measured");
-  bench::verdict("updates delivered under load", "all", "all (see table)", true);
-  bench::verdict("latency inflation under heavy bulk load", "small (priority classes)",
+  rep.section("paper-vs-measured");
+  rep.verdict("updates delivered under load", "all", "all (see table)", true);
+  rep.verdict("latency inflation under heavy bulk load", "small (priority classes)",
                  bench::fmt(loaded_mean / idle_mean, 2) + "x",
                  loaded_mean < 3.0 * idle_mean);
-  bench::verdict("flit data size used", "16 bits", "16 bits (size code 4)", true);
-  return 0;
+  rep.verdict("flit data size used", "16 bits", "16 bits (size code 4)", true);
+  rep.metric("idle_mean_latency_cycles", idle_mean);
+  rep.metric("loaded_mean_latency_cycles", loaded_mean);
+  rep.metric("load_inflation", loaded_mean / idle_mean);
+  rep.timing(4 * (g_quick ? 1200 : 4000));
+  return rep.finish(0);
 }

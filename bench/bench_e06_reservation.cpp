@@ -16,6 +16,8 @@ using namespace ocn;
 
 namespace {
 
+bool g_quick = false;
+
 struct Point {
   double flow_latency;
   double flow_jitter;
@@ -41,8 +43,8 @@ Point run_point(double dynamic_rate, bool reclaim, int flows) {
 
   traffic::HarnessOptions opt;
   opt.injection_rate = dynamic_rate;
-  opt.warmup = 500;
-  opt.measure = 4000;
+  opt.warmup = g_quick ? 200 : 500;
+  opt.measure = g_quick ? 1200 : 4000;
   opt.drain_max = 1;
   opt.seed = 31;
   traffic::LoadHarness harness(net, opt);
@@ -58,12 +60,13 @@ Point run_point(double dynamic_rate, bool reclaim, int flows) {
 
 }  // namespace
 
-int main() {
-  bench::banner("E6", "Pre-scheduled and dynamic traffic sharing the network",
+int main(int argc, char** argv) {
+  bench::BenchReporter rep(argc, argv, "E6", "Pre-scheduled and dynamic traffic sharing the network",
                 "scheduled flits ride reserved slots without arbitration: "
                 "constant latency, zero jitter at any dynamic load");
+  g_quick = rep.quick();
 
-  bench::section("4 static flows + dynamic load sweep (strict slots)");
+  rep.section("4 static flows + dynamic load sweep (strict slots)");
   TablePrinter t({"dynamic rate", "flow latency cyc", "flow jitter", "dynamic latency cyc"});
   double max_jitter = 0.0;
   double flow_lat_idle = 0, flow_lat_loaded = 0;
@@ -75,9 +78,9 @@ int main() {
     t.add_row({bench::fmt(rate, 2), bench::fmt(p.flow_latency, 2),
                bench::fmt(p.flow_jitter, 3), bench::fmt(p.dynamic_latency, 1)});
   }
-  t.print();
+  rep.table("flow_vs_dynamic_load", t);
 
-  bench::section("ablation: strict slots vs reclaim-idle-slots (dynamic rate 0.3)");
+  rep.section("ablation: strict slots vs reclaim-idle-slots (dynamic rate 0.3)");
   TablePrinter a({"slot policy", "idle reserved cycles", "dynamic latency cyc",
                   "flow jitter"});
   const Point strict = run_point(0.3, false, 4);
@@ -86,17 +89,24 @@ int main() {
              bench::fmt(strict.dynamic_latency, 1), bench::fmt(strict.flow_jitter, 3)});
   a.add_row({"reclaim idle", std::to_string(reclaim.idle_reserved),
              bench::fmt(reclaim.dynamic_latency, 1), bench::fmt(reclaim.flow_jitter, 3)});
-  a.print();
+  rep.table("slot_policy_ablation", a);
 
-  bench::section("paper-vs-measured");
-  bench::verdict("scheduled jitter across all loads", "0 (pre-scheduled)",
+  rep.section("paper-vs-measured");
+  rep.verdict("scheduled jitter across all loads", "0 (pre-scheduled)",
                  bench::fmt(max_jitter, 3), max_jitter == 0.0);
-  bench::verdict("scheduled latency load-independence", "constant",
+  rep.verdict("scheduled latency load-independence", "constant",
                  bench::fmt(flow_lat_idle, 2) + " -> " + bench::fmt(flow_lat_loaded, 2),
                  flow_lat_idle == flow_lat_loaded);
-  bench::verdict("reclaiming idle slots helps dynamic traffic", "(ablation)",
+  rep.verdict("reclaiming idle slots helps dynamic traffic", "(ablation)",
                  bench::fmt(strict.dynamic_latency - reclaim.dynamic_latency, 1) +
                      " cycles saved",
                  reclaim.dynamic_latency <= strict.dynamic_latency);
-  return 0;
+  rep.metric("max_scheduled_jitter", max_jitter);
+  rep.metric("flow_latency_idle", flow_lat_idle);
+  rep.metric("flow_latency_loaded", flow_lat_loaded);
+  rep.metric("strict.dynamic_latency", strict.dynamic_latency);
+  rep.metric("reclaim.dynamic_latency", reclaim.dynamic_latency);
+  rep.metric("strict.idle_reserved_cycles", static_cast<double>(strict.idle_reserved));
+  rep.timing(7 * (g_quick ? 1400 : 4500));
+  return rep.finish(0);
 }

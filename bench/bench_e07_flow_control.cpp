@@ -22,6 +22,8 @@ using namespace ocn;
 
 namespace {
 
+bool g_quick = false;
+
 struct Row {
   std::string name;
   double buffer_bits_per_edge;
@@ -39,8 +41,8 @@ Row run_vc(const char* name, int depth, router::FlowControl fc, double rate) {
   core::Network net(c);
   traffic::HarnessOptions opt;
   opt.injection_rate = rate;
-  opt.warmup = 500;
-  opt.measure = 4000;
+  opt.warmup = g_quick ? 200 : 500;
+  opt.measure = g_quick ? 1200 : 4000;
   opt.drain_max = 20000;
   opt.seed = 17;
   traffic::LoadHarness harness(net, opt);
@@ -59,7 +61,7 @@ Row run_deflection(double rate) {
   core::DeflectionNetwork net(topo, 23);
   traffic::TrafficPattern pattern(traffic::Pattern::kUniform, topo);
   Rng rng(23, 7);
-  const Cycle cycles = 4500;
+  const Cycle cycles = g_quick ? 1400 : 4500;
   for (Cycle t = 0; t < cycles; ++t) {
     for (NodeId n = 0; n < topo.num_nodes(); ++n) {
       if (rng.bernoulli(rate)) net.inject(n, pattern.destination(n, rng), net.now());
@@ -82,13 +84,14 @@ Row run_deflection(double rate) {
 
 }  // namespace
 
-int main() {
-  bench::banner("E7", "Flow control vs buffer cost",
+int main(int argc, char** argv) {
+  bench::BenchReporter rep(argc, argv, "E7", "Flow control vs buffer cost",
                 "dropping/misrouting need far less buffering but lose "
                 "performance and load the wires more");
+  g_quick = rep.quick();
 
   const double rate = 0.25;
-  bench::section("uniform traffic at 0.25 flits/node/cycle");
+  rep.section("uniform traffic at 0.25 flits/node/cycle");
   TablePrinter t({"flow control", "buffer bits/edge", "accepted", "delivered",
                   "avg latency cyc", "link mm/flit"});
   std::vector<Row> rows;
@@ -103,24 +106,30 @@ int main() {
                bench::fmt(r.delivered_fraction, 3), bench::fmt(r.latency, 1),
                bench::fmt(r.mm_per_flit, 1)});
   }
-  t.print();
+  rep.table("flow_control_comparison", t);
 
-  bench::section("paper-vs-measured");
+  rep.section("paper-vs-measured");
   const Row& vc4 = rows[0];
   const Row& drop = rows[2];
   const Row& defl = rows[3];
-  bench::verdict("buffer savings, dropping vs VC-4", "large",
+  rep.verdict("buffer savings, dropping vs VC-4", "large",
                  bench::fmt(vc4.buffer_bits_per_edge / drop.buffer_bits_per_edge, 1) + "x fewer bits",
                  drop.buffer_bits_per_edge < 0.5 * vc4.buffer_bits_per_edge);
-  bench::verdict("dropping loses packets under contention", "reduced performance",
+  rep.verdict("dropping loses packets under contention", "reduced performance",
                  bench::fmt(100 * (1 - drop.delivered_fraction), 1) + "% lost",
                  drop.delivered_fraction < 1.0);
-  bench::verdict("deflection raises wire loading", "increased wire loading",
+  rep.verdict("deflection raises wire loading", "increased wire loading",
                  bench::fmt(defl.mm_per_flit, 1) + " vs " + bench::fmt(vc4.mm_per_flit, 1) +
                      " mm/flit",
                  defl.mm_per_flit > vc4.mm_per_flit);
-  bench::verdict("VC flow control is lossless", "reference design",
+  rep.verdict("VC flow control is lossless", "reference design",
                  bench::fmt(100 * vc4.delivered_fraction, 1) + "% delivered",
                  vc4.delivered_fraction == 1.0);
-  return 0;
+  rep.metric("vc4.delivered_fraction", vc4.delivered_fraction);
+  rep.metric("vc4.latency", vc4.latency);
+  rep.metric("drop.delivered_fraction", drop.delivered_fraction);
+  rep.metric("deflection.mm_per_flit", defl.mm_per_flit);
+  rep.metric("buffer_bits_ratio", vc4.buffer_bits_per_edge / drop.buffer_bits_per_edge);
+  rep.timing(4 * (g_quick ? 1400 : 4500));
+  return rep.finish(0);
 }

@@ -41,12 +41,12 @@ double intact_fraction(int faults, int spares, bool steer, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
-  bench::banner("E8", "Spare-bit steering and end-to-end retry",
+int main(int argc, char** argv) {
+  bench::BenchReporter rep(argc, argv, "E8", "Spare-bit steering and end-to-end retry",
                 "one spare bit tolerates any single wire fault; multiple "
                 "spares extend this; transients handled by e2e check+retry");
 
-  bench::section("payload-intact fraction: faults x spares x steering (256b link)");
+  rep.section("payload-intact fraction: faults x spares x steering (256b link)");
   TablePrinter t({"faults", "spares", "steering", "intact fraction"});
   struct Case { int faults, spares; bool steer; };
   double single_fault_steered = 0.0;
@@ -64,9 +64,9 @@ int main() {
     t.add_row({std::to_string(c.faults), std::to_string(c.spares),
                c.steer ? "configured" : "unconfigured", bench::fmt(frac.mean(), 3)});
   }
-  t.print();
+  rep.table("intact_fraction", t);
 
-  bench::section("end-to-end retry over a transiently faulty network path");
+  rep.section("end-to-end retry over a transiently faulty network path");
   {
     core::Config cfg = core::Config::paper_baseline();
     cfg.fault_layer = true;
@@ -85,18 +85,23 @@ int main() {
     e.add_row({"fault active", std::to_string(rejects_before_fix), "0", "-"});
     e.add_row({"after fuse repair", std::to_string(ch.crc_rejects()),
                std::to_string(ch.received().size()), std::to_string(ch.retransmissions())});
-    e.print();
+    rep.table("e2e_retry", e);
 
-    bench::section("paper-vs-measured");
-    bench::verdict("single fault, steering configured", "chip survives (100% intact)",
+    rep.section("paper-vs-measured");
+    rep.verdict("single fault, steering configured", "chip survives (100% intact)",
                    bench::fmt(100 * single_fault_steered, 1) + "%",
                    single_fault_steered == 1.0);
-    bench::verdict("single fault, no steering", "corrupts payloads",
+    rep.verdict("single fault, no steering", "corrupts payloads",
                    bench::fmt(100 * single_fault_unsteered, 1) + "% intact",
                    single_fault_unsteered < 1.0);
-    bench::verdict("e2e retry recovers all words after repair", "yes",
+    rep.verdict("e2e retry recovers all words after repair", "yes",
                    std::to_string(ch.received().size()) + "/8",
                    ch.received().size() == 8 && ch.all_acknowledged());
+    rep.metric("delivered_words", static_cast<double>(ch.received().size()));
+    rep.metric("crc_rejects_before_fix", static_cast<double>(rejects_before_fix));
   }
-  return 0;
+  rep.metric("single_fault_steered_intact", single_fault_steered);
+  rep.metric("single_fault_unsteered_intact", single_fault_unsteered);
+  rep.timing(2400);
+  return rep.finish(0);
 }

@@ -18,8 +18,8 @@
 
 using namespace ocn;
 
-int main() {
-  bench::banner("E9", "Wire duty factor: dedicated wiring vs shared network",
+int main(int argc, char** argv) {
+  bench::BenchReporter rep(argc, argv, "E9", "Wire duty factor: dedicated wiring vs shared network",
                 "dedicated wires toggle <10%; the network shares wires for "
                 "high duty, >100% with multi-bit signaling");
 
@@ -49,15 +49,16 @@ int main() {
 
   traffic::HarnessOptions opt;
   opt.injection_rate = packets_per_node_cycle;
-  opt.warmup = 500;
-  opt.measure = 5000;
+  const bool quick = rep.quick();
+  opt.warmup = quick ? 200 : 500;
+  opt.measure = quick ? 1500 : 5000;
   opt.drain_max = 1;
   opt.seed = 78;
   traffic::LoadHarness harness(net, opt);
   harness.run();
-  const auto duty = traffic::network_duty(net, 5500);
+  const auto duty = traffic::network_duty(net, quick ? 1700 : 5500);
 
-  bench::section("duty factors");
+  rep.section("duty factors");
   const phys::Technology tech = cfg.tech;
   TablePrinter t({"implementation", "wires (x length)", "duty factor"});
   t.add_row({"dedicated bundles (peak-sized)",
@@ -70,32 +71,38 @@ int main() {
   t.add_row({"shared network, 4Gb/s wires @200MHz (20b/clk)",
              "serialized channels",
              bench::fmt(100 * duty.effective_duty(tech.wire_rate_gbps / 0.2), 1) + "%"});
-  t.print();
+  rep.table("duty_factors", t);
 
   {
     const auto e = net.energy(phys::PowerModel(tech));
-    bench::section("switching activity (actual toggles vs worst case)");
+    rep.section("switching activity (actual toggles vs worst case)");
     TablePrinter a({"wire energy accounting", "pJ"});
     a.add_row({"worst case (every active bit)", bench::fmt(e.wire_energy_pj, 0)});
     a.add_row({"actual toggles (Hamming)", bench::fmt(e.activity_wire_energy_pj, 0)});
-    a.print();
+    rep.table("switching_activity", a);
   }
 
-  bench::section("hottest channel");
+  rep.section("hottest channel");
   TablePrinter h({"metric", "value"});
   h.add_row({"max channel duty", bench::fmt(100 * duty.max_channel_duty, 1) + "%"});
   h.add_row({"avg channel duty", bench::fmt(100 * duty.avg_channel_duty, 1) + "%"});
-  h.print();
+  rep.table("hottest_channel", h);
 
-  bench::section("paper-vs-measured");
-  bench::verdict("dedicated wire duty", "<10%",
+  rep.section("paper-vs-measured");
+  rep.verdict("dedicated wire duty", "<10%",
                  bench::fmt(100 * dedicated.avg_duty_factor, 1) + "%",
                  dedicated.avg_duty_factor < 0.10);
-  bench::verdict("network raises duty factor", "much higher than dedicated",
+  rep.verdict("network raises duty factor", "much higher than dedicated",
                  bench::fmt(duty.avg_channel_duty / dedicated.avg_duty_factor, 1) + "x",
                  duty.avg_channel_duty > 2 * dedicated.avg_duty_factor);
-  bench::verdict("duty with 20 bits/clock serialization", ">100% possible",
+  rep.verdict("duty with 20 bits/clock serialization", ">100% possible",
                  bench::fmt(100 * duty.effective_duty(20.0), 0) + "%",
                  duty.effective_duty(20.0) > 1.0);
-  return 0;
+  rep.config(cfg);
+  rep.metric("dedicated_duty", dedicated.avg_duty_factor);
+  rep.metric("network_avg_duty", duty.avg_channel_duty);
+  rep.metric("network_max_duty", duty.max_channel_duty);
+  rep.metric("serialized_duty_20b", duty.effective_duty(20.0));
+  rep.timing(quick ? 1700 : 5500);
+  return rep.finish(0);
 }

@@ -17,6 +17,8 @@ using namespace ocn::phys;
 
 namespace {
 
+bool g_quick = false;
+
 struct SimPoint {
   double efficiency;
   double latency;
@@ -26,7 +28,7 @@ struct SimPoint {
 SimPoint simulate_partitions(int partitions, int payload_bits) {
   core::PartitionedNetwork pn(core::Config::paper_baseline(), partitions);
   Rng rng(91);
-  for (int i = 0; i < 400; ++i) {
+  for (int i = 0; i < (g_quick ? 150 : 400); ++i) {
     const NodeId s = static_cast<NodeId>(rng.next_below(16));
     NodeId d = static_cast<NodeId>(rng.next_below(15));
     if (d >= s) ++d;
@@ -39,23 +41,24 @@ SimPoint simulate_partitions(int partitions, int payload_bits) {
 
 }  // namespace
 
-int main() {
-  bench::banner("E10", "Partitioning the 256-bit interface into sub-networks",
+int main(int argc, char** argv) {
+  bench::BenchReporter rep(argc, argv, "E10", "Partitioning the 256-bit interface into sub-networks",
                 "8x32b serves small payloads efficiently at the cost of "
                 "duplicated control signals");
+  g_quick = rep.quick();
 
   const int kControl = router::kControlBits;  // type+size+vc+route per partition
 
-  bench::section("wire overhead of partitioning");
+  rep.section("wire overhead of partitioning");
   TablePrinter w({"partitions", "sub-flit bits", "control bits total", "wire overhead"});
   for (int parts : {1, 2, 4, 8}) {
     const auto p = partition_interface(256, kControl, parts);
     w.add_row({std::to_string(parts), std::to_string(p.subflit_data_bits),
                std::to_string(p.control_bits_total), bench::fmt(p.wire_overhead, 3)});
   }
-  w.print();
+  rep.table("wire_overhead", w);
 
-  bench::section("bandwidth efficiency by payload size (useful bits / interface bits)");
+  rep.section("bandwidth efficiency by payload size (useful bits / interface bits)");
   TablePrinter t({"payload bits", "1x256", "2x128", "4x64", "8x32"});
   for (int payload : {8, 16, 32, 64, 96, 128, 200, 256}) {
     std::vector<std::string> row{std::to_string(payload)};
@@ -65,9 +68,9 @@ int main() {
     }
     t.add_row(row);
   }
-  t.print();
+  rep.table("efficiency_by_payload", t);
 
-  bench::section("simulated sub-networks (cycle-accurate, 32b payload workload)");
+  rep.section("simulated sub-networks (cycle-accurate, 32b payload workload)");
   TablePrinter sim({"config", "interface efficiency", "mean latency cyc"});
   const SimPoint one32 = simulate_partitions(1, 32);
   const SimPoint eight32 = simulate_partitions(8, 32);
@@ -78,24 +81,30 @@ int main() {
                bench::fmt(eight32.latency, 1)});
   sim.add_row({"8x32b, 256b payloads (ganged)", bench::fmt(eight256.efficiency, 3),
                bench::fmt(eight256.latency, 1)});
-  sim.print();
+  rep.table("simulated_partitions", sim);
 
-  bench::section("paper-vs-measured");
+  rep.section("paper-vs-measured");
   const auto whole = partition_interface(256, kControl, 1);
   const auto eight = partition_interface(256, kControl, 8);
-  bench::verdict("32b payload on 8x32b partitions", "full efficiency",
+  rep.verdict("32b payload on 8x32b partitions", "full efficiency",
                  bench::fmt(eight.efficiency_for(32), 2), eight.efficiency_for(32) == 1.0);
-  bench::verdict("32b payload on unpartitioned 256b", "1/8 efficiency",
+  rep.verdict("32b payload on unpartitioned 256b", "1/8 efficiency",
                  bench::fmt(whole.efficiency_for(32), 3),
                  std::abs(whole.efficiency_for(32) - 0.125) < 1e-9);
-  bench::verdict("wide flits still supported by ganging", "yes",
+  rep.verdict("wide flits still supported by ganging", "yes",
                  bench::fmt(eight.efficiency_for(256), 2), eight.efficiency_for(256) == 1.0);
-  bench::verdict("control-signal duplication cost", "some additional overhead",
+  rep.verdict("control-signal duplication cost", "some additional overhead",
                  bench::fmt(100 * (eight.wire_overhead - whole.wire_overhead), 1) +
                      "% extra wires",
                  eight.wire_overhead > whole.wire_overhead);
-  bench::verdict("simulated efficiency, 32b on 8x32 vs 1x256", "8x better",
+  rep.verdict("simulated efficiency, 32b on 8x32 vs 1x256", "8x better",
                  bench::fmt(eight32.efficiency, 2) + " vs " + bench::fmt(one32.efficiency, 2),
                  eight32.efficiency > 7.5 * one32.efficiency);
-  return 0;
+  rep.metric("eight32.efficiency", eight32.efficiency);
+  rep.metric("one32.efficiency", one32.efficiency);
+  rep.metric("eight256.efficiency", eight256.efficiency);
+  rep.metric("eight32.latency", eight32.latency);
+  rep.metric("wire_overhead_8x32", partition_interface(256, kControl, 8).wire_overhead);
+  rep.timing(3 * (g_quick ? 150 : 400));
+  return rep.finish(0);
 }

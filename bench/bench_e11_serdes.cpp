@@ -11,15 +11,15 @@
 using namespace ocn;
 using namespace ocn::phys;
 
-int main() {
-  bench::banner("E11", "Per-wire serialization: trading wires for bandwidth",
+int main(int argc, char** argv) {
+  bench::BenchReporter rep(argc, argv, "E11", "Per-wire serialization: trading wires for bandwidth",
                 "4 Gb/s per wire = 2 bits/clock at 2 GHz .. 20 bits/clock "
                 "at 200 MHz");
 
   const Technology tech = default_technology();
   const SerializationModel model(tech, router::kFlitPhysBits);
 
-  bench::section("clock sweep, 300-bit flit channel");
+  rep.section("clock sweep, 300-bit flit channel");
   TablePrinter t({"clock GHz", "bits/wire/clock", "wires per channel",
                   "channel BW Gb/s", "track fraction used"});
   for (double ghz : {0.2, 0.4, 0.5, 0.8, 1.0, 1.6, 2.0}) {
@@ -28,25 +28,30 @@ int main() {
                std::to_string(p.wires_for_flit), bench::fmt(p.channel_bw_gbps, 0),
                bench::fmt(p.tracks_fraction_used, 3)});
   }
-  t.print();
+  rep.table("clock_sweep", t);
 
-  bench::section("pin abundance vs inter-chip routers (section 3.1)");
+  rep.section("pin abundance vs inter-chip routers (section 3.1)");
   TablePrinter pins({"environment", "pins/edges available"});
   pins.add_row({"on-chip tile (4 edges x 6000 tracks)", "24000"});
   pins.add_row({"historical inter-chip router package", "<1000"});
   pins.add_row({"ratio", "24:1"});
-  pins.print();
+  rep.table("pin_abundance", pins);
 
-  bench::section("paper-vs-measured");
+  rep.section("paper-vs-measured");
   const SerdesPoint fast = model.at_clock(2.0);
   const SerdesPoint slow = model.at_clock(0.2);
-  bench::verdict("bits/clock at 2 GHz", "2", bench::fmt(fast.bits_per_wire_per_clock, 0),
+  rep.verdict("bits/clock at 2 GHz", "2", bench::fmt(fast.bits_per_wire_per_clock, 0),
                  fast.bits_per_wire_per_clock == 2.0);
-  bench::verdict("bits/clock at 200 MHz", "20", bench::fmt(slow.bits_per_wire_per_clock, 0),
+  rep.verdict("bits/clock at 200 MHz", "20", bench::fmt(slow.bits_per_wire_per_clock, 0),
                  slow.bits_per_wire_per_clock == 20.0);
-  bench::verdict("wire count reduction, 200MHz vs 2GHz", "10x",
+  rep.verdict("wire count reduction, 200MHz vs 2GHz", "10x",
                  bench::fmt(static_cast<double>(fast.wires_for_flit) / slow.wires_for_flit, 1) +
                      "x",
                  fast.wires_for_flit == 10 * slow.wires_for_flit);
-  return 0;
+  rep.metric("bits_per_clock_2ghz", fast.bits_per_wire_per_clock);
+  rep.metric("bits_per_clock_200mhz", slow.bits_per_wire_per_clock);
+  rep.metric("wires_2ghz", static_cast<double>(fast.wires_for_flit));
+  rep.metric("wires_200mhz", static_cast<double>(slow.wires_for_flit));
+  rep.timing(0);
+  return rep.finish(0);
 }

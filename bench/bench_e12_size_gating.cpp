@@ -16,6 +16,8 @@ using namespace ocn;
 
 namespace {
 
+bool g_quick = false;
+
 struct Point {
   double gated_pj_per_flit;
   double ungated_pj_per_flit;
@@ -28,7 +30,7 @@ Point run_size(int payload_bits) {
   core::Network net(c);
   // Drive fixed-size single-flit packets uniformly.
   Rng rng(41);
-  const Cycle cycles = 3000;
+  const Cycle cycles = g_quick ? 900 : 3000;
   for (Cycle t = 0; t < cycles; ++t) {
     for (NodeId n = 0; n < net.num_nodes(); ++n) {
       if (rng.bernoulli(0.1)) {
@@ -56,11 +58,12 @@ Point run_size(int payload_bits) {
 
 }  // namespace
 
-int main() {
-  bench::banner("E12", "Size-field power gating",
+int main(int argc, char** argv) {
+  bench::BenchReporter rep(argc, argv, "E12", "Size-field power gating",
                 "short payloads do not toggle the unused data bits");
+  g_quick = rep.quick();
 
-  bench::section("energy per flit vs payload size (uniform traffic, 0.1 rate)");
+  rep.section("energy per flit vs payload size (uniform traffic, 0.1 rate)");
   TablePrinter t({"payload bits", "gated pJ/flit", "ungated pJ/flit", "saving"});
   double best_saving = 0.0;
   for (int bits : {1, 8, 16, 64, 128, 256}) {
@@ -71,12 +74,14 @@ int main() {
                bench::fmt(p.ungated_pj_per_flit, 1),
                bench::fmt(100 * saving, 1) + "%"});
   }
-  t.print();
+  rep.table("energy_vs_payload", t);
 
-  bench::section("paper-vs-measured");
-  bench::verdict("energy saving for 16-bit flits (logical wires)", "large",
+  rep.section("paper-vs-measured");
+  rep.verdict("energy saving for 16-bit flits (logical wires)", "large",
                  bench::fmt(100 * best_saving, 0) + "% at 1-bit payloads", best_saving > 0.7);
-  bench::verdict("zero saving at full 256-bit payloads", "gating is free",
+  rep.verdict("zero saving at full 256-bit payloads", "gating is free",
                  "0% (see table)", true);
-  return 0;
+  rep.metric("best_saving", best_saving);
+  rep.timing(6 * (g_quick ? 900 : 3000));
+  return rep.finish(0);
 }

@@ -29,10 +29,10 @@ constexpr traffic::Pattern kPatterns[] = {
     traffic::Pattern::kHotspot};
 constexpr double kMultiFlitRates[] = {0.1, 0.2, 0.4, 0.6};
 
-std::vector<sweep::LoadPoint> build_grid() {
+std::vector<sweep::LoadPoint> build_grid(bool quick) {
   traffic::HarnessOptions base;
-  base.warmup = 1000;
-  base.measure = 4000;
+  base.warmup = quick ? 300 : 1000;
+  base.measure = quick ? 1200 : 4000;
   base.drain_max = 1;
   std::vector<sweep::LoadPoint> points;
   for (auto pattern : kPatterns) {
@@ -78,17 +78,18 @@ bool merged_identical(const sweep::MergedStats& a, const sweep::MergedStats& b) 
          accumulator_identical(a.hops, b.hops) &&
          accumulator_identical(a.link_mm, b.link_mm) &&
          a.latency_hist.bins() == b.latency_hist.bins() &&
-         a.measured_packets == b.measured_packets;
+         a.measured_packets == b.measured_packets &&
+         a.metrics.values == b.metrics.values;
 }
 
 }  // namespace
 
-int main() {
-  bench::banner("E13", "Latency vs offered load, paper baseline network",
+int main(int argc, char** argv) {
+  bench::BenchReporter rep(argc, argv, "E13", "Latency vs offered load, paper baseline network",
                 "flat latency near the zero-load bound, sharp rise at "
                 "saturation; saturation set by pattern");
 
-  const auto points = build_grid();
+  const auto points = build_grid(rep.quick());
   double serial_s = 0.0, parallel_s = 0.0;
   const auto serial = timed_run(1, points, &serial_s);
   const int threads = sweep::default_threads();
@@ -97,7 +98,7 @@ int main() {
 
   std::size_t idx = 0;
   for (auto pattern : kPatterns) {
-    bench::section((std::string("pattern: ") + traffic::pattern_name(pattern)).c_str());
+    rep.section((std::string("pattern: ") + traffic::pattern_name(pattern)).c_str());
     TablePrinter t({"offered flits/node/cyc", "accepted", "avg lat cyc", "p99 lat",
                     "stddev", "net lat"});
     bool saturated = false;
@@ -109,37 +110,70 @@ int main() {
                  bench::fmt(r.stddev_latency, 1), bench::fmt(r.avg_network_latency, 1)});
       if (r.accepted_flits < 0.8 * rate) saturated = true;  // deep saturation
     }
-    t.print();
+    rep.table((std::string(traffic::pattern_name(pattern)) + "_load").c_str(), t);
   }
 
-  bench::section("multi-flit packets (4-flit, uniform)");
+  // Per-point deterministic metrics: the full grid, not just the printed
+  // prefix, so baseline comparisons cover the saturated region too.
+  idx = 0;
+  for (auto pattern : kPatterns) {
+    for (double rate : kRates) {
+      const auto& r = results[idx++].harness;
+      const std::string key =
+          std::string(traffic::pattern_name(pattern)) + "." + bench::fmt(rate, 2);
+      rep.metric(key + ".accepted", r.accepted_flits);
+      rep.metric(key + ".latency", r.avg_latency);
+    }
+  }
+
+  rep.section("multi-flit packets (4-flit, uniform)");
   TablePrinter m({"offered flits/node/cyc", "accepted", "avg lat cyc"});
   for (double rate : kMultiFlitRates) {
     const auto& r = results[idx++].harness;
     m.add_row({bench::fmt(rate, 2), bench::fmt(r.accepted_flits, 3),
                bench::fmt(r.avg_latency, 1)});
+    rep.metric("multiflit." + bench::fmt(rate, 2) + ".latency", r.avg_latency);
   }
-  m.print();
+  rep.table("multi_flit_load", m);
 
-  bench::section("sweep engine");
+  rep.section("sweep engine");
   std::printf("%zu points: serial %.2fs, %d-thread %.2fs  (speedup %.2fx)\n",
               points.size(), serial_s, threads, parallel_s,
               parallel_s > 0 ? serial_s / parallel_s : 0.0);
-  const bool identical = merged_identical(sweep::SweepRunner::merge(serial),
-                                          sweep::SweepRunner::merge(parallel));
-  bench::verdict("parallel sweep statistics", "bit-identical to serial",
+  // Wall-clock numbers are machine-dependent: notes, never metrics.
+  rep.note("sweep.serial_seconds", bench::fmt(serial_s, 2));
+  rep.note("sweep.parallel_seconds", bench::fmt(parallel_s, 2));
+  rep.note("sweep.threads", std::to_string(threads));
+  rep.note("sweep.speedup", bench::fmt(parallel_s > 0 ? serial_s / parallel_s : 0.0, 2));
+  const auto merged_serial = sweep::SweepRunner::merge(serial);
+  const auto merged_parallel = sweep::SweepRunner::merge(parallel);
+  const bool identical = merged_identical(merged_serial, merged_parallel);
+  rep.verdict("parallel sweep statistics", "bit-identical to serial",
                  identical ? "bit-identical" : "MISMATCH", identical);
+  // Counter registry totals merged across every sweep point, plus the
+  // aggregate latency histogram — both deterministic for the fixed seed.
+  rep.snapshot(merged_parallel.metrics);
+  rep.histogram("latency", merged_parallel.latency_hist);
+  rep.metric("merged.measured_packets",
+             static_cast<double>(merged_parallel.measured_packets));
+  rep.metric("merged.latency_mean", merged_parallel.latency.mean());
+  rep.metric("merged.hops_mean", merged_parallel.hops.mean());
 
-  bench::section("paper-vs-measured");
+  rep.section("paper-vs-measured");
   const auto& low = results[0].harness;  // uniform @ 0.05
   // Zero-load bound: ~2 cycles/hop (router+link) + inject/eject overhead.
   const double bound = 2.0 * 2.0 + 4.0;  // avg 2 hops
-  bench::verdict("zero-load latency near bound", bench::fmt(bound, 0) + " cyc",
+  rep.verdict("zero-load latency near bound", bench::fmt(bound, 0) + " cyc",
                  bench::fmt(low.avg_latency, 1) + " cyc",
                  low.avg_latency < bound + 4);
   const auto& high = results[9].harness;  // uniform @ 0.9
-  bench::verdict("uniform saturation throughput", "high (torus, 8 VCs)",
+  rep.verdict("uniform saturation throughput", "high (torus, 8 VCs)",
                  bench::fmt(high.accepted_flits, 2) + " flits/node/cyc",
                  high.accepted_flits > 0.5);
-  return identical ? 0 : 1;
+  rep.config(core::Config::paper_baseline());
+  rep.metric("zero_load_latency", low.avg_latency);
+  rep.metric("uniform_saturation_accepted", high.accepted_flits);
+  const std::int64_t per_point = rep.quick() ? 1500 : 5000;
+  rep.timing(2 * static_cast<std::int64_t>(points.size()) * per_point);
+  return rep.finish(identical ? 0 : 1);
 }

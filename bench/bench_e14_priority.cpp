@@ -16,6 +16,8 @@ using namespace ocn;
 
 namespace {
 
+bool g_quick = false;
+
 /// Latency of a short class-`cls` packet injected right after a burst of
 /// long class-0 packets at the same source.
 double blocked_injection_latency(int cls, bool priority_arbitration) {
@@ -44,8 +46,8 @@ ClassLat mixed_load_latency() {
   traffic::HarnessOptions opt;
   opt.injection_rate = 0.3;
   opt.randomize_class = true;  // classes 0..3 uniformly
-  opt.warmup = 500;
-  opt.measure = 5000;
+  opt.warmup = g_quick ? 200 : 500;
+  opt.measure = g_quick ? 1500 : 5000;
   opt.drain_max = 1;
   opt.seed = 13;
   traffic::LoadHarness harness(net, opt);
@@ -61,12 +63,13 @@ ClassLat mixed_load_latency() {
 
 }  // namespace
 
-int main() {
-  bench::banner("E14", "Priority classes and injection interruption",
+int main(int argc, char** argv) {
+  bench::BenchReporter rep(argc, argv, "E14", "Priority classes and injection interruption",
                 "short high-priority packets overtake long low-priority "
                 "packets at the NIC and at every arbitration point");
+  g_quick = rep.quick();
 
-  bench::section("short packet behind 4x 8-flit low-class packets");
+  rep.section("short packet behind 4x 8-flit low-class packets");
   TablePrinter t({"config", "short pkt class", "latency cycles"});
   const double same_class = blocked_injection_latency(0, true);
   const double high_class = blocked_injection_latency(2, true);
@@ -74,26 +77,31 @@ int main() {
   t.add_row({"priority arbitration (paper)", "0 (same as bulk)", bench::fmt(same_class, 0)});
   t.add_row({"priority arbitration (paper)", "2 (high)", bench::fmt(high_class, 0)});
   t.add_row({"round-robin only (ablation)", "2 (high)", bench::fmt(high_no_prio, 0)});
-  t.print();
+  rep.table("blocked_injection", t);
 
-  bench::section("per-class latency under mixed sustained load (rate 0.3)");
+  rep.section("per-class latency under mixed sustained load (rate 0.3)");
   const ClassLat m = mixed_load_latency();
   TablePrinter s({"service class", "avg latency cycles"});
   for (int c = 0; c < 4; ++c) {
     s.add_row({std::to_string(c), bench::fmt(m.lat[c], 1)});
+    rep.metric("class_latency." + std::to_string(c), m.lat[c]);
   }
-  s.print();
+  rep.table("class_latency", s);
 
-  bench::section("paper-vs-measured");
-  bench::verdict("high class overtakes long injection", "interrupt + resume",
+  rep.section("paper-vs-measured");
+  rep.verdict("high class overtakes long injection", "interrupt + resume",
                  bench::fmt(high_class, 0) + " vs " + bench::fmt(same_class, 0) +
                      " cyc (same class)",
                  high_class < 0.5 * same_class);
-  bench::verdict("priority arbitration required for the effect", "(mechanism)",
+  rep.verdict("priority arbitration required for the effect", "(mechanism)",
                  bench::fmt(high_no_prio, 0) + " cyc without priority",
                  high_no_prio >= high_class);
-  bench::verdict("higher classes see lower latency under load", "class ordering",
+  rep.verdict("higher classes see lower latency under load", "class ordering",
                  bench::fmt(m.lat[3], 1) + " <= " + bench::fmt(m.lat[0], 1),
                  m.lat[3] <= m.lat[0] + 1.0);
-  return 0;
+  rep.metric("same_class_latency", same_class);
+  rep.metric("high_class_latency", high_class);
+  rep.metric("high_class_no_priority_latency", high_no_prio);
+  rep.timing(g_quick ? 1700 : 5500);
+  return rep.finish(0);
 }

@@ -1,11 +1,21 @@
 // M1 — Simulator micro-benchmarks (google-benchmark).
 //
 // Not a paper experiment: tracks the cost of the core operations so
-// performance regressions in the simulator itself are visible.
+// performance regressions in the simulator itself are visible. The custom
+// main wraps google-benchmark so the run doubles as an ocn-bench-report:
+// BenchReporter strips --json/--quick first, then the remaining argv is
+// forwarded to benchmark::Initialize untouched, so all --benchmark_* flags
+// still work. The recorded per-op times are wall-clock dependent, so the
+// committed baseline for this bench is compared schema-only (key presence,
+// not values) — see scripts/bench_compare.py --schema-only.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "bench/common.h"
 #include "core/fault.h"
 #include "core/network.h"
+#include "obs/counters.h"
 #include "routing/route_computer.h"
 #include "sim/rng.h"
 #include "topo/folded_torus.h"
@@ -42,6 +52,31 @@ void BM_NetworkStepLoaded(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkStepLoaded);
 
+// Same loop as BM_NetworkStepLoaded but with the full counter registry
+// attached (per-router gauges + kernel counters + interval sampling off).
+// The items/s gap between the two is the observability overhead; the
+// acceptance bar is within a few percent.
+void BM_NetworkStepLoadedMetrics(benchmark::State& state) {
+  core::Config c = core::Config::paper_baseline();
+  core::Network net(c);
+  obs::CounterRegistry registry;
+  net.register_metrics(registry);
+  Rng rng(1);
+  traffic::TrafficPattern pattern(traffic::Pattern::kUniform, net.topology());
+  for (auto _ : state) {
+    for (NodeId n = 0; n < net.num_nodes(); ++n) {
+      if (rng.bernoulli(0.2)) {
+        net.nic(n).inject(core::make_word_packet(pattern.destination(n, rng), 0, 1),
+                          net.now());
+      }
+    }
+    net.step();
+  }
+  benchmark::DoNotOptimize(net.kernel().sample());
+  state.SetItemsProcessed(state.iterations() * net.num_nodes());
+}
+BENCHMARK(BM_NetworkStepLoadedMetrics);
+
 void BM_RouteCompute(benchmark::State& state) {
   const topo::FoldedTorus topo(8, 3.0);
   const routing::RouteComputer rc(topo);
@@ -72,6 +107,64 @@ void BM_RngU64(benchmark::State& state) {
 }
 BENCHMARK(BM_RngU64);
 
+/// ConsoleReporter that also captures every run for the JSON report.
+class CaptureReporter final : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) captured_.push_back(r);
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+  const std::vector<Run>& runs() const { return captured_; }
+
+ private:
+  std::vector<Run> captured_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::BenchReporter rep(argc, argv, "M1", "Simulator micro-benchmarks",
+                           "simulator hot-path cost tracking; metrics overhead "
+                           "within a few percent of the plain step loop");
+
+  // Quick mode shortens each benchmark's measurement window. Injected before
+  // user flags so an explicit --benchmark_min_time still wins.
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  char min_time[] = "--benchmark_min_time=0.05";
+  if (rep.quick()) args.push_back(min_time);
+  for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return rep.finish(2);
+  }
+
+  CaptureReporter reporter;
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  // Wall-clock dependent values: the committed baseline is compared
+  // schema-only, so these keys document shape, not expected numbers.
+  double plain_items = 0.0, metrics_items = 0.0;
+  for (const auto& r : reporter.runs()) {
+    if (r.error_occurred) continue;
+    const std::string name = r.benchmark_name();
+    rep.metric("ns_per_op." + name, r.GetAdjustedRealTime());
+    const auto it = r.counters.find("items_per_second");
+    if (it != r.counters.end()) {
+      rep.metric("items_per_sec." + name, it->second.value);
+      if (name == "BM_NetworkStepLoaded") plain_items = it->second.value;
+      if (name == "BM_NetworkStepLoadedMetrics") metrics_items = it->second.value;
+    }
+  }
+  if (plain_items > 0 && metrics_items > 0) {
+    // Wall-clock noise makes this an unreliable pass/fail gate, so it is a
+    // note rather than a verdict; the regression check compares whole builds.
+    const double overhead = plain_items / metrics_items - 1.0;
+    rep.note("metrics_overhead_percent", bench::fmt(100.0 * overhead, 2));
+  }
+  rep.note("benchmarks_run", std::to_string(ran));
+  rep.timing(0);
+  return rep.finish(ran > 0 ? 0 : 1);
+}

@@ -1,35 +1,146 @@
-// Shared helpers for the experiment benches. Every bench prints:
-//   * a banner naming the experiment and the paper's claim,
-//   * one or more aligned tables (sim/stats.h TablePrinter),
-//   * a PAPER-VS-MEASURED summary line per claim, consumed by
-//     EXPERIMENTS.md.
+// Shared harness for the experiment benches — a dual emitter.
+//
+// Every bench prints the same human-readable shape it always has (banner,
+// aligned tables, PAPER-VS-MEASURED verdict lines) while recording the same
+// content into an obs::Report. Flags every bench accepts:
+//
+//   --json <path>   also serialize the report to <path> in the stable
+//                   ocn-bench-report/v1 schema (see src/obs/report.h);
+//                   scripts/bench_compare.py diffs these against
+//                   bench/baselines/.
+//   --quick         reduced-cycle CI mode: benches shrink warmup/measure
+//                   windows (and sweep grids) so the whole smoke run fits in
+//                   a CI job. Reports carry "quick": true so baselines for
+//                   full and quick runs can never be confused.
+//
+// Both flags are stripped from argv, so binaries with their own flag
+// parsing (bench_m1_micro forwards to google-benchmark) compose cleanly.
+//
+// Schema contract reminder: metric() values must be deterministic for a
+// fixed seed — wall-clock-dependent numbers go through timing() or note().
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
+#include "core/config.h"
+#include "obs/report.h"
 #include "sim/stats.h"
 
 namespace ocn::bench {
 
-inline void banner(const char* id, const char* title, const char* claim) {
-  std::printf("\n=============================================================\n");
-  std::printf("%s  %s\n", id, title);
-  std::printf("paper claim: %s\n", claim);
-  std::printf("=============================================================\n");
-}
-
-inline void section(const char* name) { std::printf("\n-- %s --\n", name); }
-
-/// One comparison line: experiment id, metric, paper value, measured value.
-inline void verdict(const char* metric, const std::string& paper,
-                    const std::string& measured, bool ok) {
-  std::printf("%-8s %-44s paper=%-14s measured=%-14s\n", ok ? "[OK]" : "[DEVIATES]",
-              metric, paper.c_str(), measured.c_str());
-}
-
 inline std::string fmt(double v, int precision = 3) {
   return TablePrinter::fmt(v, precision);
 }
+
+class BenchReporter {
+ public:
+  BenchReporter(int& argc, char** argv, const char* id, const char* title,
+                const char* claim)
+      : report_(id, title, claim),
+        start_(std::chrono::steady_clock::now()) {
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--json") {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s: --json requires a path\n", argv[0]);
+          std::exit(2);
+        }
+        json_path_ = argv[++i];
+      } else if (a == "--quick") {
+        quick_ = true;
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    argc = kept;
+    report_.set_quick(quick_);
+
+    std::printf("\n=============================================================\n");
+    std::printf("%s  %s%s\n", id, title, quick_ ? "  [quick]" : "");
+    std::printf("paper claim: %s\n", claim);
+    std::printf("=============================================================\n");
+  }
+
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+
+  bool quick() const { return quick_; }
+  bool json_requested() const { return !json_path_.empty(); }
+  obs::Report& report() { return report_; }
+
+  void section(const char* name) { std::printf("\n-- %s --\n", name); }
+
+  /// Print the table and record it (headers + rows) under `name`.
+  void table(const char* name, const TablePrinter& t) {
+    t.print();
+    report_.add_table(name, t.headers(), t.rows());
+  }
+
+  /// One comparison line: metric, paper value, measured value. Printed and
+  /// recorded; bench_compare.py fails a run whose baseline verdict was ok
+  /// but whose fresh verdict is not.
+  void verdict(const char* metric, const std::string& paper,
+               const std::string& measured, bool ok) {
+    std::printf("%-8s %-44s paper=%-14s measured=%-14s\n",
+                ok ? "[OK]" : "[DEVIATES]", metric, paper.c_str(),
+                measured.c_str());
+    report_.add_verdict(metric, paper, measured, ok);
+  }
+
+  /// Record a deterministic scalar for baseline comparison (JSON only).
+  void metric(const std::string& name, double value) {
+    report_.add_metric(name, value);
+  }
+
+  void note(const std::string& key, std::string value) {
+    report_.add_note(key, std::move(value));
+  }
+
+  /// Record the experiment's Config: fingerprint (so comparisons can refuse
+  /// to diff different configs) plus the canonical summary as a note.
+  void config(const core::Config& c) {
+    report_.set_config_fingerprint(c.fingerprint());
+    report_.add_note("config", c.summary());
+  }
+
+  void histogram(const std::string& name, const Histogram& h) {
+    report_.add_histogram(name, h.bin_width(), h.bins(), h.negative_samples());
+  }
+
+  void snapshot(const obs::MetricsSnapshot& s) { report_.add_snapshot(s); }
+
+  /// Record run timing: wall clock measured since construction, plus how
+  /// many simulated cycles that covered (0 for model-only benches).
+  void timing(std::int64_t simulated_cycles) {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    report_.set_timing(std::chrono::duration<double>(elapsed).count(),
+                       simulated_cycles);
+  }
+
+  /// Write the JSON report (when requested) and return the process exit
+  /// code: `code`, or 1 if the report could not be written.
+  int finish(int code = 0) {
+    report_.set_exit_code(code);
+    if (!json_path_.empty()) {
+      if (!report_.write(json_path_)) {
+        std::fprintf(stderr, "bench: failed to write JSON report to %s\n",
+                     json_path_.c_str());
+        return code != 0 ? code : 1;
+      }
+      std::printf("\njson report: %s\n", json_path_.c_str());
+    }
+    return code;
+  }
+
+ private:
+  obs::Report report_;
+  std::chrono::steady_clock::time_point start_;
+  std::string json_path_;
+  bool quick_ = false;
+};
 
 }  // namespace ocn::bench

@@ -10,6 +10,8 @@
 //   ocn-verify --radix 8 --depth 2 --link-latency 3   # credit-starved warning
 //   ocn-verify --monitor-cycles 2000            # also run traffic under the
 //                                               # live protocol monitor
+//   ocn-verify --json report.json               # machine-readable verdicts in
+//                                               # the ocn-bench-report schema
 //
 // Exit status: 0 when the report has no errors, 1 when it does (or the
 // runtime monitor observes a violation), 2 on usage errors.
@@ -18,6 +20,7 @@
 #include <cstring>
 #include <string>
 
+#include "obs/report.h"
 #include "traffic/generator.h"
 #include "verify/monitor.h"
 #include "verify/verifier.h"
@@ -31,6 +34,7 @@ struct Options {
   Cycle monitor_cycles = 0;  ///< 0 = static analysis only
   double rate = 0.2;
   bool quiet = false;
+  std::string json_path;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -48,6 +52,8 @@ struct Options {
       "                                       cycles of uniform traffic under\n"
       "                                       the runtime protocol monitor\n"
       "  --rate R                             offered load for --monitor-cycles\n"
+      "  --json PATH                          write the verification report as\n"
+      "                                       ocn-bench-report/v1 JSON\n"
       "  --quiet                              exit status only\n",
       argv0);
   std::exit(2);
@@ -94,6 +100,8 @@ Options parse(int argc, char** argv) {
       o.monitor_cycles = std::atoll(need(i));
     } else if (a == "--rate") {
       o.rate = std::atof(need(i));
+    } else if (a == "--json") {
+      o.json_path = need(i);
     } else if (a == "--quiet") {
       o.quiet = true;
     } else {
@@ -101,6 +109,58 @@ Options parse(int argc, char** argv) {
     }
   }
   return o;
+}
+
+/// Serialize the verification outcome in the same schema the benches emit so
+/// one comparison tool covers both. Returns the intended exit code.
+int write_json(const Options& o, const verify::Report& report,
+               const verify::RuntimeMonitor* mon, int code) {
+  obs::Report out("VERIFY", "Static network verification",
+                  "CDG deadlock proof, route lint, credit-loop arithmetic");
+  out.set_config_fingerprint(o.config.fingerprint());
+  out.add_note("config", o.config.summary());
+
+  int errors = 0, warnings = 0;
+  for (const auto& f : report.findings) {
+    if (f.severity == verify::Severity::kError) ++errors;
+    if (f.severity == verify::Severity::kWarning) ++warnings;
+    out.add_note(std::string(verify::severity_name(f.severity)) + "." + f.code,
+                 f.message);
+  }
+  out.add_verdict("deadlock freedom (CDG proof)", "deadlock-free",
+                  report.deadlock_free ? "deadlock-free"
+                                       : "dependency cycle found",
+                  report.proof_ran && report.deadlock_free);
+  out.add_verdict("route lint", "0 errors",
+                  std::to_string(errors) + " errors", errors == 0);
+  out.add_metric("channels", report.channels);
+  out.add_metric("edges", static_cast<double>(report.edges));
+  out.add_metric("routes_linted", report.routes_linted);
+  out.add_metric("max_route_bits", report.max_route_bits);
+  out.add_metric("credit_round_trip", report.credit_round_trip);
+  out.add_metric("per_vc_throughput_bound", report.per_vc_throughput_bound);
+  out.add_metric("errors", errors);
+  out.add_metric("warnings", warnings);
+  if (mon != nullptr) {
+    out.add_verdict("runtime protocol monitor", "0 violations",
+                    std::to_string(mon->violation_count()) + " violations",
+                    mon->ok());
+    out.add_metric("monitor.hops_checked",
+                   static_cast<double>(mon->hops_checked()));
+    out.add_metric("monitor.credit_checks",
+                   static_cast<double>(mon->credit_checks()));
+    out.add_metric("monitor.violations",
+                   static_cast<double>(mon->violation_count()));
+  }
+  out.set_timing(0.0, mon != nullptr ? o.monitor_cycles : 0);
+  out.set_exit_code(code);
+  if (!out.write(o.json_path)) {
+    std::fprintf(stderr, "ocn-verify: failed to write %s\n",
+                 o.json_path.c_str());
+    return code != 0 ? code : 1;
+  }
+  if (!o.quiet) std::printf("\njson report: %s\n", o.json_path.c_str());
+  return code;
 }
 
 }  // namespace
@@ -112,7 +172,9 @@ int main(int argc, char** argv) {
   if (!o.quiet) {
     std::printf("%s", report.to_string().c_str());
   }
-  if (!report.ok()) return 1;
+  if (!report.ok()) {
+    return o.json_path.empty() ? 1 : write_json(o, report, nullptr, 1);
+  }
 
   if (o.monitor_cycles > 0) {
     // The static pass was clean; cross-check it against a live simulation.
@@ -136,7 +198,8 @@ int main(int argc, char** argv) {
         std::printf("  violation: %s\n", v.c_str());
       }
     }
-    if (!mon.ok()) return 1;
+    const int code = mon.ok() ? 0 : 1;
+    return o.json_path.empty() ? code : write_json(o, report, &mon, code);
   }
-  return 0;
+  return o.json_path.empty() ? 0 : write_json(o, report, nullptr, 0);
 }

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Compare an ocn-bench-report/v1 JSON run against a committed baseline.
+
+Regression gate for CI bench-smoke and for local use:
+
+    scripts/bench_compare.py --run out/e13.json --baseline bench/baselines/e13_quick.json
+    scripts/bench_compare.py --run out/m1.json --baseline bench/baselines/m1_micro.json \
+        --schema-only
+
+What is compared
+  * schema / experiment id / quick flag / config fingerprint must match
+    exactly (a fingerprint mismatch means the run measured a different
+    configuration — comparing the numbers would be meaningless);
+  * every metric in the baseline must exist in the run and lie within the
+    tolerance band (relative error; absolute for near-zero baselines);
+  * verdicts that were ok in the baseline must still be ok in the run
+    (paper-claim regressions fail even when the raw numbers drift slowly);
+  * "timing" and "notes" are never compared: wall-clock numbers are
+    machine-dependent by contract (see bench/common.h).
+
+--schema-only skips the numeric comparison and only checks that every
+baseline metric key is present — the mode for microbenchmark reports whose
+values are wall-clock dependent.
+
+Exit status: 0 = no regression, 1 = regression or comparison mismatch,
+2 = usage / unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "ocn-bench-report/v1"
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != SCHEMA:
+        print(f"bench_compare: {path}: schema {doc.get('schema')!r} != {SCHEMA!r}",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def parse_tolerance_overrides(pairs):
+    out = {}
+    for p in pairs:
+        name, _, value = p.rpartition("=")
+        if not name:
+            print(f"bench_compare: --tolerance-for needs NAME=VALUE, got {p!r}",
+                  file=sys.stderr)
+            sys.exit(2)
+        try:
+            out[name] = float(value)
+        except ValueError:
+            print(f"bench_compare: bad tolerance in {p!r}", file=sys.stderr)
+            sys.exit(2)
+    return out
+
+
+def compare(run, baseline, tolerance, overrides, schema_only):
+    """Return a list of human-readable regression strings."""
+    problems = []
+
+    for key in ("experiment", "quick", "config_fingerprint"):
+        b, r = baseline.get(key), run.get(key)
+        ident = b.get("id") if key == "experiment" and isinstance(b, dict) else b
+        r_ident = r.get("id") if key == "experiment" and isinstance(r, dict) else r
+        if ident != r_ident:
+            problems.append(f"{key}: baseline {ident!r} != run {r_ident!r}")
+    if problems:
+        # Identity mismatches make every later diff meaningless: stop here.
+        return problems
+
+    b_metrics = baseline.get("metrics", {})
+    r_metrics = run.get("metrics", {})
+    for name, expect in b_metrics.items():
+        if name not in r_metrics:
+            problems.append(f"metric missing from run: {name}")
+            continue
+        if schema_only:
+            continue
+        got = r_metrics[name]
+        tol = overrides.get(name, tolerance)
+        if abs(expect) < 1e-12:
+            ok = abs(got) <= tol
+        else:
+            ok = abs(got - expect) / abs(expect) <= tol
+        if not ok:
+            rel = (got - expect) / expect * 100 if expect else float("inf")
+            problems.append(
+                f"metric {name}: baseline {expect:.6g}, run {got:.6g} "
+                f"({rel:+.1f}%, tolerance {tol * 100:.1f}%)")
+
+    b_verdicts = {v["metric"]: v for v in baseline.get("verdicts", [])}
+    r_verdicts = {v["metric"]: v for v in run.get("verdicts", [])}
+    for name, v in b_verdicts.items():
+        if name not in r_verdicts:
+            problems.append(f"verdict missing from run: {name}")
+        elif v.get("ok") and not r_verdicts[name].get("ok"):
+            problems.append(
+                f"verdict regressed: {name} (paper {v.get('paper')!r}, "
+                f"was {v.get('measured')!r}, now {r_verdicts[name].get('measured')!r})")
+
+    if run.get("exit_code", 0) != 0:
+        problems.append(f"run reported nonzero exit_code {run.get('exit_code')}")
+    return problems
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--run", required=True, help="fresh report JSON")
+    ap.add_argument("--baseline", required=True, help="committed baseline JSON")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="relative tolerance for metrics (default 0.05)")
+    ap.add_argument("--tolerance-for", action="append", default=[],
+                    metavar="NAME=VALUE",
+                    help="per-metric tolerance override (repeatable)")
+    ap.add_argument("--schema-only", action="store_true",
+                    help="check metric key presence, not values "
+                         "(wall-clock-dependent reports)")
+    args = ap.parse_args()
+
+    run = load(args.run)
+    baseline = load(args.baseline)
+    overrides = parse_tolerance_overrides(args.tolerance_for)
+    problems = compare(run, baseline, args.tolerance, overrides,
+                       args.schema_only)
+
+    exp = baseline.get("experiment", {}).get("id", "?")
+    mode = "schema-only" if args.schema_only else f"tolerance {args.tolerance * 100:.1f}%"
+    if problems:
+        print(f"FAIL {exp} ({mode}): {len(problems)} regression(s)")
+        for p in problems:
+            print(f"  {p}")
+        sys.exit(1)
+    n = len(baseline.get("metrics", {}))
+    print(f"OK {exp} ({mode}): {n} metrics, "
+          f"{len(baseline.get('verdicts', []))} verdicts match")
+
+
+if __name__ == "__main__":
+    main()

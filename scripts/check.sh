@@ -1,35 +1,99 @@
 #!/usr/bin/env bash
-# One-shot hygiene gate: warnings-as-errors build, full test suite, the
-# static verifier's own positive/negative smoke, and (when clang-tidy is
-# installed) the lint target. Run from the repo root:
+# Local mirror of .github/workflows/ci.yml — keep the two in sync. Mapping
+# (CI job -> what this script runs, same presets and ctest labels):
 #
-#   scripts/check.sh
+#   build-test   cmake --preset ci-{gcc,clang}-{debug,release}; full ctest;
+#                ctest -L analysis.   Matrix legs whose compiler is not
+#                installed are skipped with a note.
+#   asan         cmake --preset asan; full ctest.   (gcc or clang)
+#   tsan-sweep   cmake --preset tsan; ctest --preset tsan-sweep.
+#   lint         cmake --build <dir> --target lint (clang-tidy; soft-fail in
+#                CI, skipped here when clang-tidy is not installed).
+#   bench-smoke  quick benches with --json, compared against bench/baselines/
+#                by scripts/bench_compare.py (e13 numeric, m1 schema-only).
+#
+# Extras that CI runs implicitly via the test suite, kept from the original
+# hygiene gate: the ocn-verify positive/negative smoke.
+#
+# Usage:  scripts/check.sh [--fast]
+#   --fast   only the first available matrix leg, no sanitizers. For quick
+#            pre-commit runs; the full script is the true CI mirror.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== configure (ci preset: -Wall -Wextra -Wshadow -Wconversion -Werror) =="
-cmake --preset ci >/dev/null
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
 
-echo "== build =="
-cmake --build build-ci -j"$(nproc)"
+have() { command -v "$1" >/dev/null 2>&1; }
 
-echo "== tests =="
-ctest --test-dir build-ci --output-on-failure
+run_matrix_leg() {
+  local preset="$1"
+  echo "== [build-test] preset $preset =="
+  cmake --preset "$preset" >/dev/null
+  cmake --build --preset "$preset" -j"$(nproc)"
+  ctest --preset "$preset"
+  ctest --test-dir "build-$preset" -L analysis --output-on-failure
+}
+
+FIRST_BUILD=""
+for compiler in gcc clang; do
+  case "$compiler" in
+    gcc) tool=g++ ;;
+    clang) tool=clang++ ;;
+  esac
+  if ! have "$tool"; then
+    echo "== [build-test] $tool not installed; skipping ci-$compiler-{debug,release} (CI runs them) =="
+    continue
+  fi
+  for build_type in debug release; do
+    run_matrix_leg "ci-$compiler-$build_type"
+    [[ -z "$FIRST_BUILD" ]] && FIRST_BUILD="build-ci-$compiler-$build_type"
+    if [[ "$FAST" == 1 ]]; then break 2; fi
+  done
+done
+if [[ -z "$FIRST_BUILD" ]]; then
+  echo "no usable C++ compiler found (need g++ or clang++)" >&2
+  exit 1
+fi
+
+if [[ "$FAST" == 0 ]]; then
+  echo "== [asan] AddressSanitizer + UBSan =="
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j"$(nproc)"
+  ctest --preset asan
+
+  echo "== [tsan-sweep] ThreadSanitizer, sweep-labelled tests =="
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j"$(nproc)"
+  ctest --preset tsan-sweep
+else
+  echo "== --fast: skipping asan and tsan-sweep (CI runs them) =="
+fi
+
+if have clang-tidy; then
+  echo "== [lint] clang-tidy =="
+  cmake --build "$FIRST_BUILD" --target lint
+else
+  echo "== [lint] clang-tidy not installed; skipping (CI soft-fails it) =="
+fi
 
 echo "== ocn-verify: paper baseline must prove deadlock freedom =="
-./build-ci/examples/ocn-verify --quiet
+"./$FIRST_BUILD/examples/ocn-verify" --quiet
 
 echo "== ocn-verify: dateline-disabled radix-6 torus must find the cycle =="
-if ./build-ci/examples/ocn-verify --topology torus --no-vc-parity --radix 6 --quiet; then
+if "./$FIRST_BUILD/examples/ocn-verify" --topology torus --no-vc-parity --radix 6 --quiet; then
   echo "expected the verifier to reject this config" >&2
   exit 1
 fi
 
-if command -v clang-tidy >/dev/null 2>&1; then
-  echo "== clang-tidy =="
-  cmake --build build-ci --target lint
-else
-  echo "== clang-tidy not installed; skipping lint target =="
-fi
+echo "== [bench-smoke] quick benches vs committed baselines =="
+BENCH_OUT="$FIRST_BUILD/bench-out"
+mkdir -p "$BENCH_OUT"
+"./$FIRST_BUILD/bench/bench_e13_load_latency" --quick --json "$BENCH_OUT/e13_quick.json" >/dev/null
+"./$FIRST_BUILD/bench/bench_m1_micro" --quick --json "$BENCH_OUT/m1_micro.json" >/dev/null
+python3 scripts/bench_compare.py --run "$BENCH_OUT/e13_quick.json" \
+  --baseline bench/baselines/e13_quick.json --tolerance 0.05
+python3 scripts/bench_compare.py --run "$BENCH_OUT/m1_micro.json" \
+  --baseline bench/baselines/m1_micro.json --schema-only
 
 echo "All checks passed."

@@ -105,6 +105,48 @@ void Config::validate() const {
   }
 }
 
+std::string Config::summary() const {
+  std::string s;
+  s += "topology=";
+  s += topology_kind_name(topology);
+  auto field = [&s](const char* name, auto value) {
+    s += ' ';
+    s += name;
+    s += '=';
+    s += std::to_string(value);
+  };
+  field("radix", radix);
+  field("vcs", router.vcs);
+  field("depth", router.buffer_depth);
+  field("flow_control", static_cast<int>(router.flow_control));
+  field("vc_parity", router.enforce_vc_parity ? 1 : 0);
+  field("priority_arb", router.priority_arbitration ? 1 : 0);
+  field("piggyback", router.piggyback_credits ? 1 : 0);
+  field("speculative", router.speculative ? 1 : 0);
+  field("frame", router.reservation_frame);
+  field("reclaim_idle", router.reclaim_idle_slots ? 1 : 0);
+  field("sched_vc", router.scheduled_vc);
+  field("excl_sched", router.exclusive_scheduled_vc ? 1 : 0);
+  field("link_latency", link_latency);
+  field("flit_bits", flit_data_bits);
+  field("partitions", interface_partitions);
+  field("fault_layer", fault_layer ? 1 : 0);
+  field("spare_bits", link_spare_bits);
+  field("nic_queue", nic_queue_packets);
+  field("seed", seed);
+  return s;
+}
+
+std::uint64_t Config::fingerprint() const {
+  // FNV-1a, 64-bit: stable across platforms and builds, unlike std::hash.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : summary()) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 Config Config::paper_baseline() {
   Config c;
   c.topology = TopologyKind::kFoldedTorus;

@@ -53,6 +53,15 @@ struct Config {
   /// Throws std::invalid_argument with a description if inconsistent.
   void validate() const;
 
+  /// Canonical one-line text rendering of every field that affects behaviour
+  /// (topology, router microarchitecture, link timing, interface, seed).
+  /// Two configs with the same summary build indistinguishable networks.
+  std::string summary() const;
+
+  /// FNV-1a hash of summary(): a stable fingerprint bench reports embed so
+  /// baseline comparisons can refuse to diff runs of different configs.
+  std::uint64_t fingerprint() const;
+
   /// The paper's example network (section 2): 4x4 folded torus, 8 VCs,
   /// 4-flit buffers, 256-bit interface, 0.1um process.
   static Config paper_baseline();

@@ -272,6 +272,55 @@ FaultyLinkTransform* Network::link_fault(NodeId node, Port port) {
   return nullptr;
 }
 
+void Network::register_metrics(obs::CounterRegistry& registry, Cycle sample_interval) {
+  registry.gauge("net.packets_injected", [this] { return stats_packets_injected(); });
+  registry.gauge("net.packets_delivered", [this] { return stats_packets_delivered(); });
+  registry.gauge("net.flits_delivered", [this] {
+    std::int64_t n = 0;
+    for (const auto& nic : nics_) n += nic->flits_delivered();
+    return n;
+  });
+  registry.gauge("net.packets_dropped", [this] {
+    std::int64_t n = 0;
+    for (const auto& r : routers_) n += r->packets_dropped();
+    return n;
+  });
+  registry.gauge("net.injection_queue_rejects", [this] {
+    std::int64_t n = 0;
+    for (const auto& nic : nics_) n += nic->injection_queue_rejects();
+    return n;
+  });
+  for (const auto& nic : nics_) {
+    const std::string prefix = "nic." + std::to_string(nic->node());
+    const Nic* n = nic.get();
+    registry.gauge(prefix + ".packets_injected", [n] { return n->packets_injected(); });
+    registry.gauge(prefix + ".packets_delivered", [n] { return n->packets_delivered(); });
+    registry.gauge(prefix + ".queue_rejects", [n] { return n->injection_queue_rejects(); });
+  }
+  for (const auto& r : routers_) {
+    r->register_metrics(registry, "router." + std::to_string(r->node()));
+  }
+  for (const auto& link : links_) {
+    const Channel<router::Flit>* ch = link.flits.get();
+    registry.gauge("link." + std::to_string(link.src) + "." +
+                       topo::port_name(link.port) + ".flits",
+                   [ch] { return ch->sends(); });
+  }
+  kernel_.attach_metrics(&registry, sample_interval);
+}
+
+std::int64_t Network::stats_packets_injected() const {
+  std::int64_t n = 0;
+  for (const auto& nic : nics_) n += nic->packets_injected();
+  return n;
+}
+
+std::int64_t Network::stats_packets_delivered() const {
+  std::int64_t n = 0;
+  for (const auto& nic : nics_) n += nic->packets_delivered();
+  return n;
+}
+
 NetworkStats Network::stats() const {
   NetworkStats s;
   for (const auto& nic : nics_) {

@@ -126,6 +126,16 @@ class Network {
   void enable_tracing(TraceRecorder* recorder);
 
   // --- statistics ------------------------------------------------------------
+  /// Register the whole network in `registry`: aggregate gauges
+  /// (`net.packets_injected`, ...), per-NIC (`nic.N.*`), per-router
+  /// (`router.N.*` including per-port/per-VC, see Router::register_metrics)
+  /// and per-link (`link.SRC.PORT.flits`) instruments, plus the kernel's own
+  /// counters, sampled in bulk every `sample_interval` cycles (0 = on
+  /// demand via kernel().sample()). Pull model throughout: nothing on the
+  /// simulation hot path changes. The registry must outlive the network's
+  /// last tick.
+  void register_metrics(obs::CounterRegistry& registry, Cycle sample_interval = 0);
+
   NetworkStats stats() const;
   EnergyReport energy(const phys::PowerModel& power) const;
   std::vector<LinkUsage> link_usage() const;
@@ -142,6 +152,8 @@ class Network {
 
   void build();
   void install_register_filters();
+  std::int64_t stats_packets_injected() const;
+  std::int64_t stats_packets_delivered() const;
 
   Config config_;
   std::unique_ptr<topo::Topology> topology_;

@@ -1,0 +1,127 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ocn::obs {
+
+Report::Report(std::string id, std::string title, std::string claim)
+    : id_(std::move(id)), title_(std::move(title)), claim_(std::move(claim)) {}
+
+void Report::set_timing(double wall_seconds, std::int64_t cycles) {
+  has_timing_ = true;
+  wall_seconds_ = wall_seconds;
+  cycles_ = cycles;
+}
+
+void Report::add_verdict(std::string metric, std::string paper,
+                         std::string measured, bool ok) {
+  verdicts_.push_back(
+      {std::move(metric), std::move(paper), std::move(measured), ok});
+}
+
+void Report::add_metric(const std::string& name, double value) {
+  metrics_.set(name, Json(value));
+}
+
+void Report::add_note(const std::string& key, std::string value) {
+  notes_.set(key, Json(std::move(value)));
+}
+
+void Report::add_table(std::string name, std::vector<std::string> headers,
+                       std::vector<std::vector<std::string>> rows) {
+  Json h = Json::array();
+  for (auto& s : headers) h.push(Json(std::move(s)));
+  Json r = Json::array();
+  for (auto& row : rows) {
+    Json cells = Json::array();
+    for (auto& cell : row) cells.push(Json(std::move(cell)));
+    r.push(std::move(cells));
+  }
+  tables_.push(Json::object()
+                   .set("name", Json(std::move(name)))
+                   .set("headers", std::move(h))
+                   .set("rows", std::move(r)));
+}
+
+void Report::add_histogram(const std::string& name, double bin_width,
+                           const std::vector<std::int64_t>& counts,
+                           std::int64_t negatives) {
+  Json bins = Json::array();
+  std::int64_t total = 0;
+  // The trailing bin is overflow (sim/stats.h Histogram layout); keep it out
+  // of the sparse bin list so bin indices map directly to value ranges.
+  const std::size_t regular = counts.empty() ? 0 : counts.size() - 1;
+  for (std::size_t i = 0; i < regular; ++i) {
+    if (counts[i] != 0) {
+      bins.push(Json(Json::Array{Json(static_cast<std::int64_t>(i)), Json(counts[i])}));
+      total += counts[i];
+    }
+  }
+  const std::int64_t overflow = counts.empty() ? 0 : counts.back();
+  histograms_.set(name, Json::object()
+                            .set("bin_width", Json(bin_width))
+                            .set("count", Json(total + overflow))
+                            .set("negatives", Json(negatives))
+                            .set("overflow", Json(overflow))
+                            .set("bins", std::move(bins)));
+}
+
+void Report::add_snapshot(const MetricsSnapshot& snapshot) {
+  snapshots_.push(snapshot.to_json());
+}
+
+bool Report::all_ok() const {
+  return std::all_of(verdicts_.begin(), verdicts_.end(),
+                     [](const Verdict& v) { return v.ok; });
+}
+
+Json Report::to_json() const {
+  Json doc = Json::object();
+  doc.set("schema", Json(kReportSchema));
+  doc.set("experiment", Json::object()
+                            .set("id", Json(id_))
+                            .set("title", Json(title_))
+                            .set("claim", Json(claim_)));
+  if (has_fingerprint_) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(fingerprint_));
+    doc.set("config_fingerprint", Json(std::string(buf)));
+  }
+  doc.set("quick", Json(quick_));
+  Json verdicts = Json::array();
+  for (const Verdict& v : verdicts_) {
+    verdicts.push(Json::object()
+                      .set("metric", Json(v.metric))
+                      .set("paper", Json(v.paper))
+                      .set("measured", Json(v.measured))
+                      .set("ok", Json(v.ok)));
+  }
+  doc.set("verdicts", std::move(verdicts));
+  doc.set("metrics", metrics_);
+  if (notes_.size() > 0) doc.set("notes", notes_);
+  if (tables_.size() > 0) doc.set("tables", tables_);
+  if (histograms_.size() > 0) doc.set("histograms", histograms_);
+  if (snapshots_.size() > 0) doc.set("counters", snapshots_);
+  if (has_timing_) {
+    Json timing = Json::object();
+    timing.set("wall_seconds", Json(wall_seconds_));
+    timing.set("cycles", Json(cycles_));
+    timing.set("cycles_per_sec",
+               Json(wall_seconds_ > 0.0 ? static_cast<double>(cycles_) / wall_seconds_ : 0.0));
+    doc.set("timing", std::move(timing));
+  }
+  doc.set("exit_code", Json(exit_code_));
+  return doc;
+}
+
+bool Report::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string text = to_json().dump(2);
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace ocn::obs

@@ -1,0 +1,96 @@
+// Machine-readable bench/experiment report builder.
+//
+// Every experiment binary (bench_*, ocn-verify) serializes its results
+// through this one builder so the output is a single, stable schema that
+// scripts/bench_compare.py and external tooling can rely on:
+//
+//   {
+//     "schema": "ocn-bench-report/v1",
+//     "experiment": {"id": "E13", "title": ..., "claim": ...},
+//     "config_fingerprint": "0x9a1b...",          // optional
+//     "quick": false,                             // reduced-cycle CI mode
+//     "verdicts": [{"metric", "paper", "measured", "ok"}, ...],
+//     "metrics": {"name": number, ...},           // deterministic values ONLY
+//     "notes": {"key": "string", ...},            // free-form annotations
+//     "tables": [{"name", "headers": [...], "rows": [[...], ...]}, ...],
+//     "histograms": {"name": {"bin_width", "count", "negatives",
+//                             "overflow", "bins": [[index, count], ...]}},
+//     "counters": [{"cycle": N, "counters": {...}}, ...],  // MetricsSnapshots
+//     "timing": {"wall_seconds": s, "cycles": N, "cycles_per_sec": r},
+//     "exit_code": 0
+//   }
+//
+// Schema contract: "metrics" holds only values that are deterministic for a
+// fixed build and seed (cycle counts, latencies, ratios of counted events) —
+// these are what baselines diff against. Anything wall-clock dependent
+// (speedups, ns/op) belongs in "timing" or "notes", which comparisons skip.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/counters.h"
+#include "obs/json.h"
+
+namespace ocn::obs {
+
+inline constexpr const char* kReportSchema = "ocn-bench-report/v1";
+
+struct Verdict {
+  std::string metric;
+  std::string paper;
+  std::string measured;
+  bool ok = false;
+};
+
+class Report {
+ public:
+  Report(std::string id, std::string title, std::string claim);
+
+  void set_quick(bool quick) { quick_ = quick; }
+  void set_config_fingerprint(std::uint64_t fp) { fingerprint_ = fp; has_fingerprint_ = true; }
+  void set_exit_code(int code) { exit_code_ = code; }
+  void set_timing(double wall_seconds, std::int64_t cycles);
+
+  void add_verdict(std::string metric, std::string paper, std::string measured, bool ok);
+  /// Deterministic scalar (see schema contract above). Re-adding a name
+  /// overwrites — benches often refine a value as they go.
+  void add_metric(const std::string& name, double value);
+  void add_note(const std::string& key, std::string value);
+  void add_table(std::string name, std::vector<std::string> headers,
+                 std::vector<std::vector<std::string>> rows);
+  /// Sparse histogram: only non-zero bins are serialized. `counts` includes
+  /// the trailing overflow bin (sim/stats.h Histogram layout).
+  void add_histogram(const std::string& name, double bin_width,
+                     const std::vector<std::int64_t>& counts,
+                     std::int64_t negatives);
+  void add_snapshot(const MetricsSnapshot& snapshot);
+
+  const std::vector<Verdict>& verdicts() const { return verdicts_; }
+  bool all_ok() const;
+  int exit_code() const { return exit_code_; }
+
+  Json to_json() const;
+  /// Pretty-printed dump to `path`. Returns false (and reports nothing) on
+  /// I/O failure; callers decide whether that is fatal.
+  bool write(const std::string& path) const;
+
+ private:
+  std::string id_, title_, claim_;
+  bool quick_ = false;
+  bool has_fingerprint_ = false;
+  std::uint64_t fingerprint_ = 0;
+  int exit_code_ = 0;
+  bool has_timing_ = false;
+  double wall_seconds_ = 0.0;
+  std::int64_t cycles_ = 0;
+  std::vector<Verdict> verdicts_;
+  Json metrics_ = Json::object();
+  Json notes_ = Json::object();
+  Json tables_ = Json::array();
+  Json histograms_ = Json::object();
+  Json snapshots_ = Json::array();
+};
+
+}  // namespace ocn::obs

@@ -11,7 +11,10 @@ using topo::Port;
 using routing::TurnCode;
 
 InputController::InputController(Port port, const RouterParams& params)
-    : port_(port), params_(params), discarding_(params.vcs, false) {
+    : port_(port),
+      params_(params),
+      discarding_(params.vcs, false),
+      vc_flits_(static_cast<std::size_t>(params.vcs), 0) {
   vcs_.reserve(static_cast<std::size_t>(params.vcs));
   for (int v = 0; v < params.vcs; ++v) vcs_.emplace_back(params.buffer_depth);
 }
@@ -59,6 +62,7 @@ void InputController::accept_arrival() {
   }
 
   ++buffer_writes_;
+  ++vc_flits_[v];
   buf.push(std::move(*flit));
 }
 

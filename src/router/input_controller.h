@@ -73,6 +73,9 @@ class InputController {
   std::int64_t flits_dropped() const { return flits_dropped_; }
   std::int64_t buffer_writes() const { return buffer_writes_; }
   std::int64_t buffer_reads() const { return buffer_reads_; }
+  /// Flits buffered on one virtual channel (per-VC load distribution; the
+  /// dateline discipline and class spreading are visible here).
+  std::int64_t vc_flits(VcId v) const { return vc_flits_[static_cast<std::size_t>(v)]; }
 
  private:
   void decode(VcBuffer& buf, Cycle now);
@@ -93,6 +96,7 @@ class InputController {
   std::int64_t flits_dropped_ = 0;
   std::int64_t buffer_writes_ = 0;
   std::int64_t buffer_reads_ = 0;
+  std::vector<std::int64_t> vc_flits_;
 };
 
 }  // namespace ocn::router

@@ -184,4 +184,30 @@ std::int64_t Router::packets_dropped() const {
   return n;
 }
 
+void Router::register_metrics(obs::CounterRegistry& registry,
+                              const std::string& prefix) const {
+  registry.gauge(prefix + ".buffer_writes", [this] { return buffer_writes(); });
+  registry.gauge(prefix + ".buffer_reads", [this] { return buffer_reads(); });
+  registry.gauge(prefix + ".packets_dropped", [this] { return packets_dropped(); });
+  for (const auto& in : inputs_) {
+    if (!in.attached()) continue;
+    const std::string in_prefix =
+        prefix + ".in." + topo::port_name(in.port());
+    registry.gauge(in_prefix + ".flits", [&in] { return in.flits_arrived(); });
+    for (VcId v = 0; v < in.num_vcs(); ++v) {
+      registry.gauge(in_prefix + ".vc" + std::to_string(v) + ".flits",
+                     [&in, v] { return in.vc_flits(v); });
+    }
+  }
+  for (std::size_t p = 0; p < outputs_.size(); ++p) {
+    const auto& out = outputs_[p];
+    const std::string out_prefix =
+        prefix + ".out." + topo::port_name(static_cast<Port>(p));
+    registry.gauge(out_prefix + ".flits", [&out] { return out.flits_sent(); });
+    registry.gauge(out_prefix + ".bypass_flits", [&out] { return out.bypass_flits(); });
+    registry.gauge(out_prefix + ".contention_cycles",
+                   [&out] { return out.contention_cycles(); });
+  }
+}
+
 }  // namespace ocn::router

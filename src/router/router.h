@@ -60,6 +60,13 @@ class Router final : public Clockable {
   std::int64_t buffer_reads() const;
   std::int64_t packets_dropped() const;
 
+  /// Register this router's statistics as gauges under
+  /// `<prefix>.<statistic>` (aggregates) and `<prefix>.in.<port>.vc<N>.flits`
+  /// (per-VC buffered-flit counts). Pure pull model: the router keeps
+  /// counting exactly as before and the registry samples these accessors in
+  /// bulk, so registration adds zero hot-path cost.
+  void register_metrics(obs::CounterRegistry& registry, const std::string& prefix) const;
+
  private:
   void vc_allocation(Cycle now);
   void reservation_bypass(Cycle now);

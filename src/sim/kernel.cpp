@@ -17,10 +17,38 @@ void Kernel::tick() {
     ++stepped;
   }
   last_tick_stepped_ = stepped;
+  int advanced = 0;
   for (ChannelBase* ch : channels_) {
-    if (ch->active()) ch->advance();
+    if (ch->active()) {
+      ch->advance();
+      ++advanced;
+    }
   }
   ++now_;
+  if (metrics_) {
+    cycles_counter_->inc();
+    steps_counter_->inc(stepped);
+    advances_counter_->inc(advanced);
+    if (metrics_interval_ > 0 && now_ % metrics_interval_ == 0) {
+      interval_snapshots_.push_back(metrics_->snapshot(now_));
+    }
+  }
+}
+
+void Kernel::attach_metrics(obs::CounterRegistry* registry, Cycle sample_interval) {
+  metrics_ = registry;
+  metrics_interval_ = sample_interval;
+  if (metrics_) {
+    cycles_counter_ = &metrics_->counter("kernel.cycles");
+    steps_counter_ = &metrics_->counter("kernel.component_steps");
+    advances_counter_ = &metrics_->counter("kernel.channel_advances");
+  } else {
+    cycles_counter_ = steps_counter_ = advances_counter_ = nullptr;
+  }
+}
+
+obs::MetricsSnapshot Kernel::sample() const {
+  return metrics_ ? metrics_->snapshot(now_) : obs::MetricsSnapshot{};
 }
 
 void Kernel::run(Cycle cycles) {

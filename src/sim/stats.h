@@ -104,6 +104,10 @@ class TablePrinter {
   /// Render to a string (for tests).
   std::string to_string() const;
 
+  /// Structured access for machine-readable emitters (obs::Report tables).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
   static std::string fmt(double v, int precision = 3);
 
  private:

@@ -18,6 +18,10 @@ std::vector<LoadResult> SweepRunner::run(const std::vector<LoadPoint>& points) {
     cfg.seed = seed;
     opt.seed = seed;
     core::Network net(cfg);
+    // Worker-local registry: registered once per point, bulk-sampled at the
+    // end of the run; snapshots merge on the calling thread in index order.
+    obs::CounterRegistry registry;
+    net.register_metrics(registry);
     traffic::LoadHarness harness(net, opt);
     LoadResult r;
     r.harness = harness.run();
@@ -26,6 +30,7 @@ std::vector<LoadResult> SweepRunner::run(const std::vector<LoadPoint>& points) {
     r.hops = harness.measured_hops();
     r.link_mm = harness.measured_link_mm();
     r.latency_hist.merge(harness.latency_histogram());
+    r.metrics = net.kernel().sample();
     out[i] = std::move(r);
   });
   return out;
@@ -40,6 +45,7 @@ MergedStats SweepRunner::merge(const std::vector<LoadResult>& results) {
     m.link_mm.merge(r.link_mm);
     m.latency_hist.merge(r.latency_hist);
     m.measured_packets += r.harness.measured_packets;
+    m.metrics.merge(r.metrics);
   }
   return m;
 }

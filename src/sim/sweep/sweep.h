@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "obs/counters.h"
 #include "sim/rng.h"
 #include "sim/stats.h"
 #include "sim/sweep/thread_pool.h"
@@ -51,6 +52,10 @@ struct LoadResult {
   Accumulator hops;
   Accumulator link_mm;
   Histogram latency_hist{traffic::kLatencyHistBins, traffic::kLatencyHistBinWidth};
+  /// End-of-run bulk sample of the point's own CounterRegistry (each worker
+  /// simulation registers its Network's instruments into a registry it owns,
+  /// so sampling is thread-free by construction).
+  obs::MetricsSnapshot metrics;
 };
 
 /// Sweep-wide statistics folded from per-point results in index order.
@@ -61,6 +66,9 @@ struct MergedStats {
   Accumulator link_mm;
   Histogram latency_hist{traffic::kLatencyHistBins, traffic::kLatencyHistBinWidth};
   std::int64_t measured_packets = 0;
+  /// Counter totals summed across points in index order (deterministic for
+  /// any worker count, like every other field here).
+  obs::MetricsSnapshot metrics;
 };
 
 class SweepRunner {

@@ -1,0 +1,332 @@
+// Tests for the observability layer: the Json value type the reports are
+// built from, the counter registry (owned counters + pull-model gauges),
+// MetricsSnapshot merging across sweep worker threads (the scatter-gather
+// shape the engine's determinism contract depends on — run under the
+// `sweep` ctest label so the TSan preset covers it), the Report builder's
+// schema, and a golden-file check that pins the serialized byte shape.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "core/network.h"
+#include "obs/counters.h"
+#include "obs/json.h"
+#include "obs/report.h"
+#include "sim/stats.h"
+#include "sim/sweep/sweep.h"
+#include "sim/sweep/thread_pool.h"
+#include "traffic/generator.h"
+
+namespace ocn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Json
+
+TEST(Json, DumpParsesBackToEqualValue) {
+  obs::Json j = obs::Json::object();
+  j.set("null", nullptr);
+  j.set("bool", true);
+  j.set("int", std::int64_t{-42});
+  j.set("double", 2.5);
+  j.set("string", std::string("a \"quoted\" line\nwith control \x01 bytes"));
+  obs::Json arr = obs::Json::array();
+  arr.push(std::int64_t{1});
+  arr.push(std::string("two"));
+  j.set("array", std::move(arr));
+
+  const std::string compact = j.dump();
+  const std::string pretty = j.dump(2);
+  EXPECT_EQ(obs::Json::parse(compact), j);
+  EXPECT_EQ(obs::Json::parse(pretty), j);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  obs::Json j = obs::Json::object();
+  j.set("zebra", std::int64_t{1});
+  j.set("apple", std::int64_t{2});
+  j.set("mango", std::int64_t{3});
+  EXPECT_EQ(j.dump(), R"({"zebra":1,"apple":2,"mango":3})");
+}
+
+TEST(Json, ParsesEscapesAndSurrogatePairs) {
+  const obs::Json j = obs::Json::parse(R"("é€😀\t")");
+  EXPECT_EQ(j.as_string(), "\xc3\xa9\xe2\x82\xac\xf0\x9f\x98\x80\t");
+}
+
+TEST(Json, IntAndDoubleCompareNumerically) {
+  EXPECT_EQ(obs::Json::parse("1"), obs::Json::parse("1.0"));
+  EXPECT_NE(obs::Json::parse("1"), obs::Json::parse("1.5"));
+}
+
+TEST(Json, ParseErrorsCarryByteOffsets) {
+  EXPECT_THROW(obs::Json::parse("{\"a\": }"), std::runtime_error);
+  EXPECT_THROW(obs::Json::parse("[1, 2"), std::runtime_error);
+  EXPECT_THROW(obs::Json::parse("tru"), std::runtime_error);
+  EXPECT_THROW(obs::Json::parse("1 2"), std::runtime_error);
+}
+
+TEST(Json, RoundTripsDoublesExactly) {
+  for (double v : {0.1, 1.0 / 3.0, 1e-300, 123456789.123456789, -0.0}) {
+    obs::Json j(v);
+    EXPECT_EQ(obs::Json::parse(j.dump()).as_number(), v);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CounterRegistry
+
+TEST(CounterRegistry, CounterIsIdempotentByName) {
+  obs::CounterRegistry reg;
+  obs::Counter& a = reg.counter("x");
+  obs::Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  b.inc(4);
+  EXPECT_EQ(reg.snapshot().value("x"), 5);
+  EXPECT_EQ(reg.instruments(), 1u);
+}
+
+TEST(CounterRegistry, CounterReferencesSurviveLaterRegistrations) {
+  obs::CounterRegistry reg;
+  obs::Counter& first = reg.counter("first");
+  // Force reallocation pressure: many later registrations must not move it.
+  for (int i = 0; i < 1000; ++i) reg.counter("c" + std::to_string(i));
+  first.inc(7);
+  EXPECT_EQ(reg.snapshot().value("first"), 7);
+}
+
+TEST(CounterRegistry, GaugeSamplesLiveStateOnlyAtSnapshot) {
+  obs::CounterRegistry reg;
+  std::int64_t live = 10;
+  reg.gauge("live", [&] { return live; });
+  live = 99;
+  EXPECT_EQ(reg.snapshot().value("live"), 99);
+}
+
+TEST(CounterRegistry, DuplicateGaugeNameThrows) {
+  obs::CounterRegistry reg;
+  reg.gauge("g", [] { return std::int64_t{0}; });
+  EXPECT_THROW(reg.gauge("g", [] { return std::int64_t{1}; }),
+               std::invalid_argument);
+  reg.counter("c");
+  EXPECT_THROW(reg.gauge("c", [] { return std::int64_t{1}; }),
+               std::invalid_argument);
+}
+
+TEST(CounterRegistry, SnapshotListsCountersThenGaugesInRegistrationOrder) {
+  obs::CounterRegistry reg;
+  reg.counter("b_counter");
+  reg.gauge("a_gauge", [] { return std::int64_t{1}; });
+  reg.counter("a_counter");
+  const auto snap = reg.snapshot(123);
+  EXPECT_EQ(snap.cycle, 123);
+  ASSERT_EQ(snap.values.size(), 3u);
+  EXPECT_EQ(snap.values[0].first, "b_counter");
+  EXPECT_EQ(snap.values[1].first, "a_counter");
+  EXPECT_EQ(snap.values[2].first, "a_gauge");
+}
+
+TEST(CounterRegistry, ResetCountersLeavesGaugesAlone) {
+  obs::CounterRegistry reg;
+  reg.counter("c").inc(5);
+  reg.gauge("g", [] { return std::int64_t{3}; });
+  reg.reset_counters();
+  EXPECT_EQ(reg.snapshot().value("c"), 0);
+  EXPECT_EQ(reg.snapshot().value("g"), 3);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+
+TEST(MetricsSnapshot, MergeSumsMatchingAppendsNewTakesMaxCycle) {
+  obs::MetricsSnapshot a;
+  a.cycle = 10;
+  a.values = {{"shared", 5}, {"only_a", 1}};
+  obs::MetricsSnapshot b;
+  b.cycle = 7;
+  b.values = {{"shared", 3}, {"only_b", 2}};
+  a.merge(b);
+  EXPECT_EQ(a.cycle, 10);
+  EXPECT_EQ(a.value("shared"), 8);
+  EXPECT_EQ(a.value("only_a"), 1);
+  EXPECT_EQ(a.value("only_b"), 2);
+  EXPECT_FALSE(a.has("missing"));
+  EXPECT_EQ(a.value("missing"), 0);
+}
+
+TEST(MetricsSnapshot, JsonRoundTrip) {
+  obs::MetricsSnapshot s;
+  s.cycle = 42;
+  s.values = {{"net.packets", 1000}, {"router.0.flits", -3}};
+  const obs::MetricsSnapshot back =
+      obs::MetricsSnapshot::from_json(s.to_json());
+  EXPECT_EQ(back.cycle, s.cycle);
+  EXPECT_EQ(back.values, s.values);
+}
+
+// Worker threads each own a registry; snapshots merge on the calling thread
+// in index order. Result must be identical to a serial pass — and the
+// access pattern must be TSan-clean (this file carries the `sweep` label).
+TEST(MetricsSnapshot, MergesAcrossSweepWorkerThreadsDeterministically) {
+  constexpr std::size_t kShards = 16;
+  auto run = [&](int threads) {
+    std::vector<obs::MetricsSnapshot> snaps(kShards);
+    sweep::ThreadPool pool(threads);
+    pool.for_each_index(kShards, [&](std::size_t i) {
+      obs::CounterRegistry reg;
+      obs::Counter& c = reg.counter("work");
+      for (std::size_t k = 0; k <= i; ++k) c.inc(static_cast<std::int64_t>(k));
+      reg.gauge("shard_id", [i] { return static_cast<std::int64_t>(i); });
+      snaps[i] = reg.snapshot(static_cast<std::int64_t>(i));
+    });
+    obs::MetricsSnapshot merged;
+    for (const auto& s : snaps) merged.merge(s);
+    return merged;
+  };
+  const obs::MetricsSnapshot serial = run(1);
+  const obs::MetricsSnapshot parallel = run(4);
+  EXPECT_EQ(serial.values, parallel.values);
+  EXPECT_EQ(serial.cycle, kShards - 1);
+  EXPECT_EQ(serial.value("shard_id"), (kShards - 1) * kShards / 2);
+}
+
+// The sweep engine itself attaches a registry per point; merged counter
+// totals must be thread-count independent like every other statistic.
+TEST(MetricsSnapshot, SweepRunnerMergedMetricsAreThreadCountIndependent) {
+  traffic::HarnessOptions base;
+  base.warmup = 20;
+  base.measure = 100;
+  base.drain_max = 1;
+  const auto points = sweep::SweepRunner::rate_grid(
+      core::Config::paper_baseline(), base, {0.05, 0.1, 0.2});
+  sweep::SweepOptions one;
+  one.threads = 1;
+  sweep::SweepOptions many;
+  many.threads = 3;
+  const auto serial = sweep::SweepRunner(one).run(points);
+  const auto parallel = sweep::SweepRunner(many).run(points);
+  const auto ms = sweep::SweepRunner::merge(serial);
+  const auto mp = sweep::SweepRunner::merge(parallel);
+  EXPECT_EQ(ms.metrics.values, mp.metrics.values);
+  EXPECT_GT(ms.metrics.value("net.packets_delivered"), 0);
+  EXPECT_GT(ms.metrics.value("kernel.cycles"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel / Network integration
+
+TEST(NetworkMetrics, RegistryTracksDeliveriesAndIntervalSampling) {
+  core::Config cfg = core::Config::paper_baseline();
+  core::Network net(cfg);
+  obs::CounterRegistry reg;
+  net.register_metrics(reg, /*sample_interval=*/50);
+  net.nic(0).inject(core::make_word_packet(5, 0, 0xbeef), net.now());
+  net.run(200);
+
+  const obs::MetricsSnapshot snap = net.kernel().sample();
+  EXPECT_EQ(snap.cycle, 200);
+  EXPECT_EQ(snap.value("kernel.cycles"), 200);
+  EXPECT_EQ(snap.value("net.packets_injected"), 1);
+  EXPECT_EQ(snap.value("net.packets_delivered"), 1);
+  EXPECT_GT(snap.value("net.flits_delivered"), 0);
+
+  const auto& periodic = net.kernel().interval_snapshots();
+  ASSERT_EQ(periodic.size(), 4u);  // cycles 50, 100, 150, 200
+  EXPECT_EQ(periodic[0].cycle, 50);
+  EXPECT_EQ(periodic[3].cycle, 200);
+  // Monotone non-decreasing deliveries across samples.
+  for (std::size_t i = 1; i < periodic.size(); ++i) {
+    EXPECT_GE(periodic[i].value("net.packets_delivered"),
+              periodic[i - 1].value("net.packets_delivered"));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Report
+
+obs::Report make_reference_report() {
+  obs::Report r("T1", "Golden report fixture",
+                "serialized shape is stable across releases");
+  r.set_quick(true);
+  r.set_config_fingerprint(0x0123456789abcdefULL);
+  r.add_verdict("latency near bound", "8 cyc", "8.3 cyc", true);
+  r.add_verdict("saturation", ">0.6", "0.55", false);
+  r.add_metric("latency.mean", 8.25);
+  r.add_metric("accepted", 0.55);
+  r.add_metric("count", 3);
+  r.add_note("pattern", "uniform");
+  r.add_table("loads", {"offered", "accepted"}, {{"0.2", "0.2"}, {"0.9", "0.55"}});
+  Histogram h(4, 2.0);
+  h.add(1.0);
+  h.add(1.5);
+  h.add(100.0);  // overflow
+  r.add_histogram("latency", h.bin_width(), h.bins(), h.negative_samples());
+  obs::MetricsSnapshot snap;
+  snap.cycle = 500;
+  snap.values = {{"kernel.cycles", 500}, {"net.packets_delivered", 93}};
+  r.add_snapshot(snap);
+  r.set_timing(1.5, 6000);
+  r.set_exit_code(0);
+  return r;
+}
+
+TEST(Report, SchemaFieldsAndAllOk) {
+  const obs::Report r = make_reference_report();
+  EXPECT_FALSE(r.all_ok());  // one failed verdict
+  const obs::Json j = r.to_json();
+  EXPECT_EQ(j.find("schema")->as_string(), obs::kReportSchema);
+  EXPECT_EQ(j.find("experiment")->find("id")->as_string(), "T1");
+  EXPECT_EQ(j.find("config_fingerprint")->as_string(), "0x0123456789abcdef");
+  EXPECT_TRUE(j.find("quick")->as_bool());
+  EXPECT_EQ(j.find("verdicts")->size(), 2u);
+  EXPECT_EQ(j.find("metrics")->find("count")->as_number(), 3.0);
+  EXPECT_EQ(j.find("timing")->find("cycles_per_sec")->as_number(), 4000.0);
+  EXPECT_EQ(j.find("exit_code")->as_int(), 0);
+}
+
+TEST(Report, JsonRoundTripPreservesEverything) {
+  const obs::Json j = make_reference_report().to_json();
+  EXPECT_EQ(obs::Json::parse(j.dump(2)), j);
+}
+
+TEST(Report, MetricOverwriteTakesLastValue) {
+  obs::Report r("T2", "t", "c");
+  r.add_metric("x", 1.0);
+  r.add_metric("x", 2.0);
+  EXPECT_EQ(r.to_json().find("metrics")->find("x")->as_number(), 2.0);
+  EXPECT_EQ(r.to_json().find("metrics")->size(), 1u);
+}
+
+// Byte-exact golden file: if this fails because of an intentional schema
+// change, bump kReportSchema and regenerate (instructions in the golden
+// file's sibling README and EXPERIMENTS.md).
+TEST(Report, MatchesGoldenFile) {
+  const std::string path = std::string(OCN_TEST_DATA_DIR) + "/golden_report.json";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open()) << "missing golden file: " << path;
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(make_reference_report().to_json().dump(2) + "\n", golden.str());
+}
+
+TEST(Report, WriteProducesParseableFileAndFailsOnBadPath) {
+  const obs::Report r = make_reference_report();
+  const std::string path = ::testing::TempDir() + "/obs_report_test.json";
+  ASSERT_TRUE(r.write(path));
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream body;
+  body << in.rdbuf();
+  EXPECT_EQ(obs::Json::parse(body.str()), r.to_json());
+  std::remove(path.c_str());
+  EXPECT_FALSE(r.write("/nonexistent-dir/nope/report.json"));
+}
+
+}  // namespace
+}  // namespace ocn
