@@ -11,6 +11,8 @@
 #                CI, skipped here when clang-tidy is not installed).
 #   bench-smoke  quick benches with --json, compared against bench/baselines/
 #                by scripts/bench_compare.py (e13 numeric, m1 schema-only).
+#   chaos-smoke  quick fault-injection campaign (bench_e15_chaos) vs
+#                bench/baselines/e15_quick.json.
 #
 # Extras that CI runs implicitly via the test suite, kept from the original
 # hygiene gate: the ocn-verify positive/negative smoke.
@@ -95,5 +97,10 @@ python3 scripts/bench_compare.py --run "$BENCH_OUT/e13_quick.json" \
   --baseline bench/baselines/e13_quick.json --tolerance 0.05
 python3 scripts/bench_compare.py --run "$BENCH_OUT/m1_micro.json" \
   --baseline bench/baselines/m1_micro.json --schema-only
+
+echo "== [chaos-smoke] quick fault-injection campaign vs committed baseline =="
+"./$FIRST_BUILD/bench/bench_e15_chaos" --quick --json "$BENCH_OUT/e15_quick.json" >/dev/null
+python3 scripts/bench_compare.py --run "$BENCH_OUT/e15_quick.json" \
+  --baseline bench/baselines/e15_quick.json --tolerance 0.05
 
 echo "All checks passed."

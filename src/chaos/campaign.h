@@ -1,0 +1,113 @@
+// Seeded fault-scenario campaigns.
+//
+// A Scenario is a network configuration, a fault-event schedule, a set of
+// reliable end-to-end flows, and optional background datagram traffic. The
+// CampaignRunner drives scenarios through the sweep thread pool with the
+// standard per-index seed derivation, so a campaign's results are
+// bit-identical for any worker count, and each scenario reports everything a
+// bench needs for an ocn-bench-report/v1 section: words delivered and lost
+// on the reliable flows, retransmission/CRC/duplicate counts, recovery
+// latency after the first fault, the reroute + CDG-proof outcome, and
+// background throughput before vs. after the fault window (for the
+// degraded-capacity comparison against the (L-1)/L analytic bound).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos.h"
+#include "core/config.h"
+#include "sim/sweep/sweep.h"
+#include "sim/types.h"
+
+namespace ocn::chaos {
+
+/// One reliable end-to-end flow: `words` 64-bit words queued at cycle 0 on a
+/// services::ReliableChannel from src to dst.
+struct FlowSpec {
+  NodeId src = 0;
+  NodeId dst = 0;
+  int words = 64;
+  Cycle retry_timeout = 64;
+  int service_class = 1;
+};
+
+struct Scenario {
+  std::string name;
+  core::Config config;  ///< must enable config.fault_layer for link events
+  Cycle run_cycles = 4000;
+  /// Background throughput windows: the pre-fault window is
+  /// [warmup, first event), the post-fault window starts `recovery_gap`
+  /// cycles after the last event (or window expiry) and ends at run_cycles.
+  Cycle warmup = 200;
+  Cycle recovery_gap = 400;
+  std::vector<Event> events;
+  std::vector<FlowSpec> flows;
+  /// Background injection rate, packets per node per cycle (0 disables).
+  double background_rate = 0.0;
+};
+
+struct ScenarioResult {
+  std::string name;
+  std::uint64_t seed = 0;
+  Cycle cycles_run = 0;
+
+  // Reliable flows.
+  std::int64_t words_offered = 0;    ///< sum of FlowSpec::words
+  std::int64_t words_sent = 0;       ///< first transmissions on the wire
+  std::int64_t words_delivered = 0;  ///< in order, with the expected values
+  std::int64_t words_lost = 0;       ///< offered - delivered
+  std::int64_t retransmissions = 0;
+  std::int64_t crc_rejects = 0;
+  std::int64_t duplicates_dropped = 0;
+  int flows_completed = 0;
+  int flow_count = 0;
+  /// Cycles from the first fault event until every flow was fully
+  /// acknowledged again; -1 when flows never recovered (or no events).
+  Cycle recovery_latency = -1;
+
+  // Fault-aware rerouting.
+  int links_killed = 0;
+  bool reroutes_committed = true;   ///< every degrade was committed
+  bool reroutes_deadlock_free = true;  ///< every CDG re-proof passed
+  int unreachable_pairs = 0;        ///< from the last degrade report
+
+  // Link-layer fault counters, summed over all links.
+  std::int64_t corrupted_flits = 0;
+  std::int64_t transient_flips = 0;
+
+  // Background traffic (zeros when background_rate == 0).
+  std::int64_t bg_packets_injected = 0;
+  std::int64_t bg_pre_delivered = 0;   ///< flits delivered in the pre window
+  std::int64_t bg_post_delivered = 0;  ///< flits delivered in the post window
+  std::int64_t bg_payload_corrupt = 0; ///< delivered with a broken payload relation
+  double pre_fault_throughput = 0.0;   ///< bg flits/cycle, pre-fault window
+  double post_fault_throughput = 0.0;  ///< bg flits/cycle, post-fault window
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(const sweep::SweepOptions& options = {});
+
+  /// Run one scenario to completion with every random stream derived from
+  /// `seed`. Deterministic: same scenario + seed -> same result.
+  static ScenarioResult run_scenario(const Scenario& scenario,
+                                     std::uint64_t seed);
+
+  /// Run all scenarios across the sweep pool; scenario i uses
+  /// derive_seed(master_seed, i). Results return in scenario order.
+  std::vector<ScenarioResult> run(const std::vector<Scenario>& scenarios);
+
+  /// Scenario i repeated `repeats` times with distinct derived seeds
+  /// (seed-sweep robustness runs). Results ordered by repeat index.
+  std::vector<ScenarioResult> run_repeated(const Scenario& scenario,
+                                           std::size_t repeats);
+
+  int threads() const { return runner_.threads(); }
+
+ private:
+  sweep::SweepRunner runner_;
+};
+
+}  // namespace ocn::chaos

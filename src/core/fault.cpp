@@ -92,6 +92,17 @@ void FaultyLinkTransform::apply(router::Flit& flit) {
   const int bits = router::kDataBits;
   const auto in = payload_to_bits(flit.data, bits);
   auto out = link_.transmit(in);
+  if (dead_) {
+    // A dead link delivers pure garbage but still delivers: inverting every
+    // bit guarantees any CRC-protected payload is rejected downstream while
+    // keeping flits (and the simulator's conservation checks) intact.
+    out.flip();
+  } else if (flip_probability_ > 0.0 && rng_.bernoulli(flip_probability_)) {
+    const auto w = static_cast<std::size_t>(
+        rng_.next_below(static_cast<std::uint64_t>(bits)));
+    out[w] = !out[w];
+    ++transient_flips_;
+  }
   if (out != in) ++corrupted_flits_;
   flit.data = bits_to_payload(out);
 }

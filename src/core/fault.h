@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "router/flit.h"
+#include "sim/rng.h"
 #include "sim/types.h"
 
 namespace ocn::core {
@@ -41,6 +42,14 @@ class SteeredLink {
 
   /// Drive logical bits through the physical wires: steer at the
   /// transmitter, apply stuck-at faults, de-steer at the receiver.
+  ///
+  /// Excess-fault contract: when configure_steering() returned false
+  /// (fault_count() > spares()), the skip list still covers every faulty
+  /// wire, so no logical bit ever reads a stuck wire or any position outside
+  /// the width+spares wire array — the top fault_count()-spares() logical
+  /// bits are shifted past the last wire and read back as 0, and every lower
+  /// bit is delivered intact. Corruption is confined; there is no
+  /// out-of-range access through the steering map.
   std::vector<bool> transmit(const std::vector<bool>& bits) const;
 
   /// True when transmit() is currently the identity for all inputs.
@@ -60,7 +69,9 @@ class SteeredLink {
 
 /// LinkTransform pushing each flit's 256-bit data field through a
 /// SteeredLink; installed on output controllers by the Network when the
-/// fault layer is enabled.
+/// fault layer is enabled. Beyond the static stuck-at model it carries the
+/// runtime (in-operation) fault modes the chaos engine drives: whole-link
+/// death and transient per-flit bit flips.
 class FaultyLinkTransform final : public router::LinkTransform {
  public:
   explicit FaultyLinkTransform(SteeredLink link) : link_(std::move(link)) {}
@@ -70,11 +81,31 @@ class FaultyLinkTransform final : public router::LinkTransform {
 
   void apply(router::Flit& flit) override;
 
+  /// Whole-link death: every payload bit of every crossing flit is inverted
+  /// (the electrical link still toggles, but carries garbage). Flits are
+  /// never dropped, so flit conservation — and Network::idle() — holds; the
+  /// end-to-end check layer is what recovers the data.
+  void set_dead(bool dead) { dead_ = dead; }
+  bool dead() const { return dead_; }
+
+  /// Transient noise: each crossing flit independently suffers one random
+  /// single-bit flip with probability `p`. Deterministic for a fixed seed.
+  void set_flip_probability(double p, std::uint64_t seed) {
+    flip_probability_ = p;
+    rng_ = Rng(seed);
+  }
+  double flip_probability() const { return flip_probability_; }
+
   std::int64_t corrupted_flits() const { return corrupted_flits_; }
+  std::int64_t transient_flips() const { return transient_flips_; }
 
  private:
   SteeredLink link_;
+  bool dead_ = false;
+  double flip_probability_ = 0.0;
+  Rng rng_;
   std::int64_t corrupted_flits_ = 0;
+  std::int64_t transient_flips_ = 0;
 };
 
 /// Payload <-> bit-vector conversion helpers (exposed for tests).

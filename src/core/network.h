@@ -75,6 +75,11 @@ class Network {
   const topo::Topology& topology() const { return *topology_; }
   const routing::RouteComputer& routes() const { return routes_; }
 
+  /// Mutable route table, for fault-aware rerouting (chaos::kill_link):
+  /// marking links dead here changes the route every subsequently injected
+  /// packet is stamped with. Packets already in flight keep their routes.
+  routing::RouteComputer& mutable_routes() { return routes_; }
+
   Nic& nic(NodeId n) { return *nics_[static_cast<std::size_t>(n)]; }
   router::Router& router_at(NodeId n) { return *routers_[static_cast<std::size_t>(n)]; }
   int num_nodes() const { return topology_->num_nodes(); }

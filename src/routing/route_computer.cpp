@@ -8,30 +8,57 @@ namespace ocn::routing {
 
 using topo::Port;
 
-void RouteComputer::append_ring_moves(std::vector<Port>& path, int dim,
-                                      int from_ring, int to_ring,
-                                      bool tie_positive) const {
-  const int k = topo_.radix();
-  if (from_ring == to_ring) return;
-  const Port pos = dim == 0 ? Port::kRowPos : Port::kColPos;
-  const Port neg = dim == 0 ? Port::kRowNeg : Port::kColNeg;
-  if (topo_.has_wraparound()) {
-    const int dist_pos = (to_ring - from_ring + k) % k;
-    const int dist_neg = (from_ring - to_ring + k) % k;
-    const bool go_pos =
-        dist_pos != dist_neg ? dist_pos < dist_neg : tie_positive;
-    const int hops = go_pos ? dist_pos : dist_neg;
-    for (int i = 0; i < hops; ++i) path.push_back(go_pos ? pos : neg);
-  } else {
-    const int hops = to_ring > from_ring ? to_ring - from_ring : from_ring - to_ring;
-    const Port dir = to_ring > from_ring ? pos : neg;
-    for (int i = 0; i < hops; ++i) path.push_back(dir);
+void RouteComputer::set_link_dead(NodeId src, Port port, bool dead) {
+  assert(port != Port::kTile && "only direction links can die");
+  assert(topo_.neighbor(src, port).has_value() && "no link leaves this port");
+  if (dead_.empty()) {
+    dead_.assign(static_cast<std::size_t>(topo_.num_nodes()) *
+                     static_cast<std::size_t>(topo::kNumDirPorts),
+                 0);
   }
+  auto& flag = dead_[static_cast<std::size_t>(src) * topo::kNumDirPorts +
+                     static_cast<std::size_t>(port)];
+  if (flag != static_cast<std::uint8_t>(dead)) {
+    flag = static_cast<std::uint8_t>(dead);
+    dead_count_ += dead ? 1 : -1;
+  }
+}
+
+bool RouteComputer::is_link_dead(NodeId src, Port port) const {
+  if (dead_count_ == 0 || port == Port::kTile) return false;
+  return dead_[static_cast<std::size_t>(src) * topo::kNumDirPorts +
+               static_cast<std::size_t>(port)] != 0;
+}
+
+void RouteComputer::clear_dead_links() {
+  dead_.clear();
+  dead_count_ = 0;
+}
+
+bool RouteComputer::segment_live(NodeId from, Port dir, int hops) const {
+  NodeId node = from;
+  for (int i = 0; i < hops; ++i) {
+    if (is_link_dead(node, dir)) return false;
+    node = topo_.neighbor(node, dir)->dst;
+  }
+  return true;
+}
+
+bool RouteComputer::path_live(NodeId src, NodeId dst) const {
+  if (dead_count_ == 0) return true;
+  NodeId node = src;
+  for (const Port p : port_path(src, dst)) {
+    if (p == Port::kTile) break;
+    if (is_link_dead(node, p)) return false;
+    node = topo_.neighbor(node, p)->dst;
+  }
+  return true;
 }
 
 std::vector<Port> RouteComputer::port_path(NodeId src, NodeId dst) const {
   std::vector<Port> path;
   if (src == dst) return path;
+  const int k = topo_.radix();
   // Tie-break (ring distance exactly k/2): both members of an antipodal
   // pair orbit the same rotational direction, and pairs alternate direction
   // by the parity of their lower ring index. Every directed ring link then
@@ -42,10 +69,42 @@ std::vector<Port> RouteComputer::port_path(NodeId src, NodeId dst) const {
     const int b = topo_.ring_index(dst, dim);
     return (std::min(a, b) % 2) == 0;
   };
-  append_ring_moves(path, 0, topo_.ring_index(src, 0), topo_.ring_index(dst, 0),
-                    tie_bit(0));
-  append_ring_moves(path, 1, topo_.ring_index(src, 1), topo_.ring_index(dst, 1),
-                    tie_bit(1));
+  NodeId node = src;
+  for (int dim = 0; dim < 2; ++dim) {
+    const int from = topo_.ring_index(node, dim);
+    const int to = topo_.ring_index(dst, dim);
+    if (from == to) continue;
+    const Port pos = dim == 0 ? Port::kRowPos : Port::kColPos;
+    const Port neg = dim == 0 ? Port::kRowNeg : Port::kColNeg;
+    Port dir;
+    int hops;
+    if (topo_.has_wraparound()) {
+      const int dist_pos = (to - from + k) % k;
+      const int dist_neg = (from - to + k) % k;
+      const bool go_pos =
+          dist_pos != dist_neg ? dist_pos < dist_neg : tie_bit(dim);
+      dir = go_pos ? pos : neg;
+      hops = go_pos ? dist_pos : dist_neg;
+      // Fault-aware detour: when the chosen ring segment crosses a dead
+      // link, go the other way around the ring if that side is intact. The
+      // detour is non-minimal but still dimension-ordered, so the turn
+      // encoding and the dateline VC scheme apply unchanged.
+      if (dead_count_ > 0 && !segment_live(node, dir, hops)) {
+        const Port alt = go_pos ? neg : pos;
+        if (segment_live(node, alt, k - hops)) {
+          dir = alt;
+          hops = k - hops;
+        }
+      }
+    } else {
+      dir = to > from ? pos : neg;
+      hops = to > from ? to - from : from - to;
+    }
+    for (int i = 0; i < hops; ++i) {
+      path.push_back(dir);
+      node = topo_.neighbor(node, dir)->dst;
+    }
+  }
   path.push_back(Port::kTile);
   return path;
 }

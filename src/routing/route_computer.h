@@ -9,6 +9,16 @@
 // two directions (so patterns like bit-complement load both ring halves),
 // while any one (src, dst) pair always routes identically, preserving
 // in-order delivery per source and class.
+//
+// Fault-aware recomputation (paper section 2.5's graceful degradation):
+// links can be marked dead at runtime. On wraparound topologies a ring
+// segment through a dead link is replaced by the (possibly non-minimal)
+// segment the other way around the ring, which stays dimension-ordered, so
+// the turn model and the dateline VC discipline — and therefore the
+// deadlock-freedom argument — are unchanged; chaos::kill_link re-proves
+// this with the CDG before committing the dead set. Meshes have no
+// alternative under dimension-order routing, so dead mesh links leave the
+// path unchanged and path_live() reports the casualty.
 #pragma once
 
 #include <vector>
@@ -38,12 +48,29 @@ class RouteComputer {
   /// Network hops (links traversed) for the computed route.
   int hop_count(NodeId src, NodeId dst) const;
 
+  // --- fault-aware routing ----------------------------------------------------
+  /// Mark the link out of `src` through `port` dead (or alive again). Every
+  /// subsequently computed route detours around dead links where the
+  /// topology offers a dimension-ordered alternative. Costs nothing on
+  /// route computation while no link is dead.
+  void set_link_dead(NodeId src, topo::Port port, bool dead = true);
+  bool is_link_dead(NodeId src, topo::Port port) const;
+  int dead_link_count() const { return dead_count_; }
+  void clear_dead_links();
+
+  /// True when the path src -> dst traverses no dead link (src == dst is
+  /// trivially live).
+  bool path_live(NodeId src, NodeId dst) const;
+
   const topo::Topology& topology() const { return topo_; }
 
  private:
-  void append_ring_moves(std::vector<topo::Port>& path, int dim, int from_ring,
-                         int to_ring, bool tie_positive) const;
+  bool segment_live(NodeId from, topo::Port dir, int hops) const;
+
   const topo::Topology& topo_;
+  /// Dead flag per (node, direction port); empty until a link dies.
+  std::vector<std::uint8_t> dead_;
+  int dead_count_ = 0;
 };
 
 }  // namespace ocn::routing

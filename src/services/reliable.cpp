@@ -1,9 +1,15 @@
 #include "services/reliable.h"
 
+#include <algorithm>
+#include <cassert>
+
 namespace ocn::services {
 namespace {
 constexpr std::uint64_t kDataMagic = 0x4f434e52454c3031ull;  // "OCNREL01"
 constexpr std::uint64_t kAckMagic = 0x4f434e52454c3032ull;   // "OCNREL02"
+
+/// Retries beyond this stop growing the backoff (4x the base timeout).
+constexpr int kMaxBackoffShift = 2;
 }  // namespace
 
 std::uint32_t crc32(const std::uint8_t* data, std::size_t length) {
@@ -28,50 +34,123 @@ std::uint32_t crc32_words(const std::uint64_t* words, std::size_t count) {
 
 ReliableChannel::ReliableChannel(core::Network& net, NodeId src, NodeId dst,
                                  Cycle retry_timeout, int service_class)
-    : net_(net), src_(src), dst_(dst), timeout_(retry_timeout), service_class_(service_class) {
-  // Receiver: verify CRC, deliver in order, acknowledge cumulatively.
+    : net_(net),
+      src_(src),
+      dst_(dst),
+      timeout_(retry_timeout),
+      service_class_(service_class),
+      rng_(derive_seed(0x52454c4941424c45ull,
+                       static_cast<std::uint64_t>(src) << 32 |
+                           static_cast<std::uint32_t>(dst))) {
   net_.nic(dst).add_filter([this](const core::Packet& p) {
     if (p.num_flits() != 1 || p.flit_payloads[0][0] != kDataMagic || p.src != src_) {
       return false;
     }
-    const std::uint64_t seq_word = p.flit_payloads[0][1];
-    const std::uint64_t data_word = p.flit_payloads[0][2];
-    const auto carried_crc = static_cast<std::uint32_t>(p.flit_payloads[0][3]);
-    const std::uint64_t covered[2] = {seq_word, data_word};
-    if (crc32_words(covered, 2) != carried_crc) {
-      ++crc_rejects_;
-      return true;  // corrupted: drop silently, the sender will retry
-    }
-    const auto seq = static_cast<std::uint32_t>(seq_word);
-    if (seq != rx_expected_) {
-      ++duplicates_;  // stale retransmission or out-of-window
-    } else {
-      ++rx_expected_;
-      received_.push_back(data_word);
-      if (handler_) handler_(data_word);
-    }
-    // Cumulative ack of everything below rx_expected_.
-    core::Packet ack = core::make_packet(src_, service_class_, 1);
-    ack.flit_payloads[0][0] = kAckMagic;
-    ack.flit_payloads[0][1] = rx_expected_;
-    net_.nic(dst_).inject(std::move(ack), net_.now());
+    on_data(p);
     return true;
   });
-  // Sender: absorb acks.
   net_.nic(src).add_filter([this](const core::Packet& p) {
     if (p.num_flits() != 1 || p.flit_payloads[0][0] != kAckMagic || p.src != dst_) {
       return false;
     }
-    const auto acked_below = static_cast<std::uint32_t>(p.flit_payloads[0][1]);
-    while (!pending_.empty() && pending_.front().seq < acked_below) {
-      pending_.pop_front();
-    }
+    on_ack(p);
     return true;
   });
   net_.kernel().add(this);
 }
 
+ReliableChannel::~ReliableChannel() { net_.kernel().remove(this); }
+
 void ReliableChannel::send(std::uint64_t word) { tx_queue_.push_back(word); }
+
+void ReliableChannel::set_window(int window) {
+  assert(window >= 1 && window < kRxWindow);
+  window_ = window;
+}
+
+void ReliableChannel::start_sequence_at(std::uint32_t seq) {
+  assert(tx_queue_.empty() && pending_.empty() && received_.empty() &&
+         "sequence origin must be set before any traffic");
+  tx_seq_ = seq;
+  rx_expected_ = seq;
+}
+
+void ReliableChannel::deliver(std::uint64_t word) {
+  received_.push_back(word);
+  if (handler_) handler_(word);
+}
+
+// Receiver: verify CRC, deliver in order, buffer ahead-of-gap words, and
+// acknowledge cumulatively plus selectively.
+void ReliableChannel::on_data(const core::Packet& p) {
+  const std::uint64_t seq_word = p.flit_payloads[0][1];
+  const std::uint64_t data_word = p.flit_payloads[0][2];
+  const auto carried_crc = static_cast<std::uint32_t>(p.flit_payloads[0][3]);
+  const std::uint64_t covered[2] = {seq_word, data_word};
+  if (crc32_words(covered, 2) != carried_crc) {
+    ++crc_rejects_;
+    return;  // corrupted: drop silently, the sender will retry
+  }
+  const auto seq = static_cast<std::uint32_t>(seq_word);
+  // Serial offset from the next expected sequence; modular subtraction makes
+  // this correct across 32-bit wraparound (stale retransmissions land at
+  // huge offsets and are dropped below).
+  const std::uint32_t d = seq - rx_expected_;
+  if (d == 0) {
+    deliver(data_word);
+    ++rx_expected_;
+    if (!rx_buffer_.empty()) rx_buffer_.pop_front();
+    while (!rx_buffer_.empty() && rx_buffer_.front().has_value()) {
+      deliver(*rx_buffer_.front());
+      ++rx_expected_;
+      rx_buffer_.pop_front();
+    }
+  } else if (d < static_cast<std::uint32_t>(kRxWindow)) {
+    if (rx_buffer_.size() <= d) rx_buffer_.resize(d + 1);
+    auto& slot = rx_buffer_[d];
+    if (slot.has_value()) {
+      ++duplicates_;
+    } else {
+      slot = data_word;
+    }
+  } else {
+    ++duplicates_;  // stale retransmission from below the window
+  }
+  // Ack: cumulative rx_expected_ plus a selective bitmap of buffered words
+  // (bit b set means sequence rx_expected_ + 1 + b is already held). Acks
+  // carry their own CRC so a corrupted ack can never acknowledge unsent or
+  // undelivered data.
+  std::uint64_t sack = 0;
+  for (std::size_t i = 1; i < rx_buffer_.size() && i < 64; ++i) {
+    if (rx_buffer_[i].has_value()) sack |= std::uint64_t{1} << (i - 1);
+  }
+  core::Packet ack = core::make_packet(src_, service_class_, 1);
+  ack.flit_payloads[0][0] = kAckMagic;
+  ack.flit_payloads[0][1] = rx_expected_;
+  ack.flit_payloads[0][2] = sack;
+  const std::uint64_t ack_covered[2] = {rx_expected_, sack};
+  ack.flit_payloads[0][3] = crc32_words(ack_covered, 2);
+  net_.nic(dst_).inject(std::move(ack), net_.now());
+}
+
+// Sender: absorb acks.
+void ReliableChannel::on_ack(const core::Packet& p) {
+  const std::uint64_t acked_word = p.flit_payloads[0][1];
+  const std::uint64_t sack = p.flit_payloads[0][2];
+  const std::uint64_t covered[2] = {acked_word, sack};
+  if (crc32_words(covered, 2) != static_cast<std::uint32_t>(p.flit_payloads[0][3])) {
+    ++crc_rejects_;
+    return;
+  }
+  const auto acked_below = static_cast<std::uint32_t>(acked_word);
+  while (!pending_.empty() && seq_before(pending_.front().seq, acked_below)) {
+    pending_.pop_front();
+  }
+  for (auto& pend : pending_) {
+    const std::uint32_t d = pend.seq - acked_below;
+    if (d >= 1 && d < 64 && ((sack >> (d - 1)) & 1) != 0) pend.sacked = true;
+  }
+}
 
 void ReliableChannel::transmit(const Pending& p, Cycle now) {
   core::Packet pkt = core::make_packet(dst_, service_class_, 1);
@@ -83,19 +162,32 @@ void ReliableChannel::transmit(const Pending& p, Cycle now) {
   net_.nic(src_).inject(std::move(pkt), now);
 }
 
+Cycle ReliableChannel::backoff_delay(int retries) {
+  const int shift = std::min(retries, kMaxBackoffShift);
+  const Cycle jitter_range = std::max<Cycle>(1, timeout_ / 8);
+  return (timeout_ << shift) +
+         static_cast<Cycle>(rng_.next_below(static_cast<std::uint64_t>(jitter_range)));
+}
+
 void ReliableChannel::step(Cycle now) {
   // New transmissions within the window.
   while (!tx_queue_.empty() && static_cast<int>(pending_.size()) < window_) {
-    Pending p{tx_queue_.front(), tx_seq_++, now};
+    Pending p{tx_queue_.front(), tx_seq_++, now + timeout_, 0, false};
     tx_queue_.pop_front();
     transmit(p, now);
+    ++words_sent_;
     pending_.push_back(p);
   }
-  // Timeout-driven retransmission (go-back style: resend the oldest).
-  if (!pending_.empty() && now - pending_.front().sent_at >= timeout_) {
-    pending_.front().sent_at = now;
-    transmit(pending_.front(), now);
+  // Selective retransmission: every outstanding word runs its own timer, so
+  // an ack that exposes a younger word never triggers an immediate spurious
+  // resend, and repeated losses back off exponentially (with jitter) instead
+  // of hammering the network once per timeout.
+  for (auto& p : pending_) {
+    if (p.sacked || now < p.next_retry_at) continue;
+    transmit(p, now);
+    ++p.retries;
     ++retransmissions_;
+    p.next_retry_at = now + backoff_delay(p.retries);
   }
 }
 

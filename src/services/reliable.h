@@ -3,18 +3,26 @@
 // layering the checking protocol on top of the network interfaces."
 //
 // Each data word travels in a single-flit packet carrying a CRC-32 over
-// (sequence, payload). The receiver delivers words whose CRC verifies and
-// acknowledges them; corrupted packets are dropped silently. The sender
-// retransmits unacknowledged words after a timeout. Combined with the
-// spare-bit steering layer this gives the paper's full fault story: hard
-// faults are fused out, residual/transient corruption is caught end to end.
+// (sequence, payload). The receiver delivers words in order, buffers words
+// that arrive ahead of a gap, and acknowledges with a cumulative sequence
+// plus a selective-ack bitmap of the buffered words; corrupted packets (and
+// corrupted acks — acks carry their own CRC) are dropped silently. The
+// sender retransmits selectively: every unacknowledged word has its own
+// retry timer with exponential backoff and deterministic jitter, so a burst
+// of losses never turns into a retransmit storm. Sequence numbers are 32-bit
+// and compared modularly (serial-number arithmetic), so the protocol
+// survives tx_seq_ wrapping past 2^32. Combined with the spare-bit steering
+// layer this gives the paper's full fault story: hard faults are fused out,
+// residual/transient corruption is caught end to end.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
 
 #include "core/network.h"
+#include "sim/rng.h"
 #include "sim/stats.h"
 
 namespace ocn::services {
@@ -23,12 +31,27 @@ namespace ocn::services {
 std::uint32_t crc32(const std::uint8_t* data, std::size_t length);
 std::uint32_t crc32_words(const std::uint64_t* words, std::size_t count);
 
+/// Serial-number (modular) comparison: true when `a` precedes `b` on the
+/// 32-bit sequence circle. Well-defined while the two are within 2^31 of
+/// each other, which the bounded send window guarantees.
+constexpr bool seq_before(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+
 class ReliableChannel final : public Clockable {
  public:
   using WordHandler = std::function<void(std::uint64_t)>;
 
+  /// Receive window: how far ahead of the next expected sequence the
+  /// receiver buffers out-of-order words. The selective-ack bitmap covers
+  /// offsets 1..kRxWindow-1, so the send window must stay below this.
+  static constexpr int kRxWindow = 64;
+
   ReliableChannel(core::Network& net, NodeId src, NodeId dst,
                   Cycle retry_timeout = 256, int service_class = 1);
+  ~ReliableChannel() override;
+  ReliableChannel(const ReliableChannel&) = delete;
+  ReliableChannel& operator=(const ReliableChannel&) = delete;
 
   /// Queue a word for guaranteed, in-order delivery.
   void send(std::uint64_t word);
@@ -36,33 +59,53 @@ class ReliableChannel final : public Clockable {
   void set_handler(WordHandler h) { handler_ = std::move(h); }
   const std::deque<std::uint64_t>& received() const { return received_; }
 
+  /// Send window (words in flight unacknowledged); must be < kRxWindow.
+  void set_window(int window);
+
+  /// Test hook: start both endpoints' sequence state at `seq` (models a
+  /// long-lived channel approaching 32-bit wraparound). Must be called
+  /// before any traffic.
+  void start_sequence_at(std::uint32_t seq);
+
   void step(Cycle now) override;
 
   bool all_acknowledged() const { return pending_.empty() && tx_queue_.empty(); }
   std::int64_t retransmissions() const { return retransmissions_; }
   std::int64_t crc_rejects() const { return crc_rejects_; }
   std::int64_t duplicates_dropped() const { return duplicates_; }
+  std::int64_t words_sent() const { return words_sent_; }
 
  private:
   struct Pending {
     std::uint64_t word;
     std::uint32_t seq;
-    Cycle sent_at;
+    Cycle next_retry_at;  ///< this entry's own timer (selective repeat)
+    int retries;
+    bool sacked;  ///< receiver holds it out of order; do not retransmit
   };
 
   void transmit(const Pending& p, Cycle now);
+  Cycle backoff_delay(int retries);
+  void on_data(const core::Packet& p);
+  void on_ack(const core::Packet& p);
+  void deliver(std::uint64_t word);
 
   core::Network& net_;
   NodeId src_;
   NodeId dst_;
   Cycle timeout_;
   int service_class_;
+  Rng rng_;  ///< retry jitter; seeded from (src, dst) for determinism
 
   std::deque<std::uint64_t> tx_queue_;
-  std::deque<Pending> pending_;  ///< sent, awaiting ack (in order)
+  std::deque<Pending> pending_;  ///< sent, awaiting ack (sequence order)
   std::uint32_t tx_seq_ = 0;
   std::uint32_t rx_expected_ = 0;
   int window_ = 8;
+
+  /// Out-of-order receive buffer: slot d holds the word with sequence
+  /// rx_expected_ + d (slot 0 — the gap itself — is always empty).
+  std::deque<std::optional<std::uint64_t>> rx_buffer_;
 
   WordHandler handler_;
   std::deque<std::uint64_t> received_;
@@ -70,6 +113,7 @@ class ReliableChannel final : public Clockable {
   std::int64_t retransmissions_ = 0;
   std::int64_t crc_rejects_ = 0;
   std::int64_t duplicates_ = 0;
+  std::int64_t words_sent_ = 0;
 };
 
 }  // namespace ocn::services

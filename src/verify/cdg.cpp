@@ -241,6 +241,12 @@ std::vector<int> Cdg::find_cycle() const {
 }
 
 std::string Cdg::describe(int id) const {
+  // channel_id() returns -1 for (node, port, vc) triples outside the CDG —
+  // e.g. a rogue flit the monitor observed on a VC no route may use. Such an
+  // id names no channel, so describe it as such instead of indexing with it.
+  if (id < 0 || static_cast<std::size_t>(id) >= channels_.size()) {
+    return "<no such channel (id " + std::to_string(id) + ")>";
+  }
   const ChannelNode& c = channel(id);
   std::string s = "n" + std::to_string(c.src);
   if (c.port == Port::kTile) {

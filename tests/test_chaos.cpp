@@ -1,0 +1,293 @@
+// Runtime fault injection: fault-aware rerouting, the CDG re-proof on
+// degraded topologies, the chaos event engine, and seeded campaigns
+// (including the 50-seed transient-noise robustness sweep).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "chaos/campaign.h"
+#include "chaos/chaos.h"
+#include "core/interface.h"
+#include "core/network.h"
+#include "routing/route_computer.h"
+#include "verify/cdg.h"
+
+namespace ocn {
+namespace {
+
+using core::Config;
+using core::Network;
+using topo::Port;
+
+TEST(RouteComputerDetour, RingDetoursAroundDeadLink) {
+  const Config cfg = Config::paper_baseline();
+  const auto topology = cfg.make_topology();
+  routing::RouteComputer rc(*topology);
+
+  const auto before = rc.port_path(0, 2);
+  ASSERT_FALSE(before.empty());
+  const Port first = before.front();
+
+  rc.set_link_dead(0, first);
+  EXPECT_TRUE(rc.is_link_dead(0, first));
+  EXPECT_EQ(rc.dead_link_count(), 1);
+
+  const auto after = rc.port_path(0, 2);
+  ASSERT_FALSE(after.empty());
+  // The detour leaves through the opposite ring direction and no longer
+  // crosses the dead link.
+  EXPECT_EQ(after.front(), topo::reverse(first));
+  EXPECT_TRUE(rc.path_live(0, 2));
+
+  // The detoured route still turn-encodes and walks to the destination.
+  const auto nodes = rc.walk(0, rc.compute(0, 2));
+  ASSERT_FALSE(nodes.empty());
+  EXPECT_EQ(nodes.back(), 2);
+}
+
+TEST(RouteComputerDetour, UntouchedPairsKeepTheirRoutes) {
+  const Config cfg = Config::paper_baseline();
+  const auto topology = cfg.make_topology();
+  routing::RouteComputer rc(*topology);
+
+  std::vector<std::vector<Port>> before;
+  for (NodeId d = 1; d < 16; ++d) before.push_back(rc.port_path(5, d));
+
+  const Port victim = rc.port_path(0, 2).front();
+  rc.set_link_dead(0, victim);
+  for (NodeId d = 1; d < 16; ++d) {
+    if (rc.path_live(5, d)) {
+      // Any pair whose path never crossed the dead link routes identically.
+      bool crossed = false;
+      NodeId node = 5;
+      for (const Port p : before[static_cast<std::size_t>(d - 1)]) {
+        if (p == Port::kTile) break;
+        if (node == 0 && p == victim) crossed = true;
+        node = topology->neighbor(node, p)->dst;
+      }
+      if (!crossed) {
+        EXPECT_EQ(rc.port_path(5, d), before[static_cast<std::size_t>(d - 1)])
+            << "pair 5->" << d;
+      }
+    }
+  }
+}
+
+TEST(RouteComputerDetour, MeshHasNoAlternative) {
+  Config cfg = Config::paper_baseline();
+  cfg.topology = core::TopologyKind::kMesh;
+  const auto topology = cfg.make_topology();
+  routing::RouteComputer rc(*topology);
+
+  const auto before = rc.port_path(0, 1);
+  rc.set_link_dead(0, before.front());
+  // Dimension-order routing on a mesh has exactly one path: it cannot
+  // detour, and path_live reports the casualty.
+  EXPECT_EQ(rc.port_path(0, 1), before);
+  EXPECT_FALSE(rc.path_live(0, 1));
+
+  rc.clear_dead_links();
+  EXPECT_EQ(rc.dead_link_count(), 0);
+  EXPECT_TRUE(rc.path_live(0, 1));
+}
+
+TEST(Cdg, DegradedRouteSetStaysAcyclic) {
+  const Config cfg = Config::paper_baseline();
+  const auto topology = cfg.make_topology();
+  routing::RouteComputer rc(*topology);
+  rc.set_link_dead(0, rc.port_path(0, 2).front());
+
+  const verify::Cdg cdg(cfg, rc);
+  EXPECT_TRUE(cdg.find_cycle().empty())
+      << cdg.describe_cycle(cdg.find_cycle());
+}
+
+TEST(KillLink, ReroutesProvesAndCommits) {
+  Config cfg = Config::paper_baseline();
+  cfg.fault_layer = true;
+  Network net(cfg);
+
+  const Port first = net.routes().port_path(0, 2).front();
+  const auto report = chaos::kill_link(net, 0, first);
+  EXPECT_TRUE(report.deadlock_free) << report.cycle;
+  EXPECT_TRUE(report.committed);
+  EXPECT_EQ(report.unreachable_pairs, 0);
+  EXPECT_TRUE(net.routes().is_link_dead(0, first));
+  ASSERT_NE(net.link_fault(0, first), nullptr);
+  EXPECT_TRUE(net.link_fault(0, first)->dead());
+
+  const auto revive = chaos::revive_link(net, 0, first);
+  EXPECT_TRUE(revive.committed);
+  EXPECT_FALSE(net.routes().is_link_dead(0, first));
+  EXPECT_FALSE(net.link_fault(0, first)->dead());
+}
+
+TEST(ChaosEngine, AppliesStuckAtOnSchedule) {
+  Config cfg = Config::paper_baseline();
+  cfg.fault_layer = true;
+  Network net(cfg);
+  chaos::ChaosEngine engine(net);
+
+  chaos::Event e;
+  e.at = 100;
+  e.kind = chaos::EventKind::kLinkStuckAt;
+  e.node = 0;
+  e.port = Port::kRowPos;
+  e.wire = 5;
+  engine.schedule(e);
+
+  net.run(99);
+  EXPECT_EQ(net.link_fault(0, Port::kRowPos)->link().fault_count(), 0);
+  net.run(2);
+  EXPECT_EQ(net.link_fault(0, Port::kRowPos)->link().fault_count(), 1);
+  EXPECT_EQ(engine.events_applied(), 1);
+}
+
+TEST(ChaosEngine, TransientWindowExpires) {
+  Config cfg = Config::paper_baseline();
+  cfg.fault_layer = true;
+  Network net(cfg);
+  chaos::ChaosEngine engine(net);
+
+  const Port first = net.routes().port_path(0, 2).front();
+  chaos::Event e;
+  e.at = 10;
+  e.kind = chaos::EventKind::kTransientFlips;
+  e.node = 0;
+  e.port = first;
+  e.flip_probability = 1.0;
+  e.duration = 50;
+  engine.schedule(e);
+
+  // Keep flits crossing the link through the window.
+  for (int i = 0; i < 30; ++i) {
+    net.nic(0).inject(core::make_word_packet(2, 0, 0xabc0 + i), net.now());
+  }
+  net.run(200);
+  auto* fault = net.link_fault(0, first);
+  EXPECT_GT(fault->transient_flips(), 0);
+  EXPECT_EQ(fault->flip_probability(), 0.0);  // window expired
+}
+
+TEST(ChaosEngine, NicStallWindowDelaysDelivery) {
+  Config cfg = Config::paper_baseline();
+  cfg.fault_layer = true;
+  Network net(cfg);
+  chaos::ChaosEngine engine(net);
+
+  chaos::Event e;
+  e.at = 0;
+  e.kind = chaos::EventKind::kNicStall;
+  e.node = 2;
+  e.duration = 100;
+  engine.schedule(e);
+
+  net.nic(0).inject(core::make_word_packet(2, 0, 0xfeed), net.now());
+  net.run(90);
+  EXPECT_EQ(net.nic(2).packets_delivered(), 0);  // ejection stalled
+  net.run(200);
+  EXPECT_EQ(net.nic(2).packets_delivered(), 1);  // released at cycle 100
+}
+
+// The PR acceptance scenario: kill one torus link mid-run under background
+// load with a reliable flow crossing it. Zero lost words, the CDG re-proof
+// passes on the degraded topology, and post-fault background throughput is
+// within 15% of the (L-1)/L analytic degraded-capacity bound.
+TEST(Campaign, KillOneTorusLinkAcceptance) {
+  Config cfg = Config::paper_baseline();
+  cfg.fault_layer = true;
+  const auto topology = cfg.make_topology();
+  const routing::RouteComputer routes(*topology);
+  const double num_links = static_cast<double>(topology->channels().size());
+
+  chaos::Scenario s;
+  s.name = "kill_one_link";
+  s.config = cfg;
+  s.run_cycles = 3000;
+  s.warmup = 100;
+  s.recovery_gap = 400;
+  s.flows = {{0, 2, /*words=*/120, /*retry_timeout=*/64, /*service_class=*/1}};
+  s.background_rate = 0.05;
+  s.events = {{/*at=*/300, chaos::EventKind::kLinkDeath, 0,
+               routes.port_path(0, 2).front()}};
+
+  const auto r = chaos::CampaignRunner::run_scenario(s, /*seed=*/42);
+
+  EXPECT_EQ(r.words_lost, 0);
+  EXPECT_EQ(r.words_delivered, r.words_offered);
+  EXPECT_EQ(r.flows_completed, r.flow_count);
+  EXPECT_TRUE(r.reroutes_committed);
+  EXPECT_TRUE(r.reroutes_deadlock_free);
+  EXPECT_EQ(r.unreachable_pairs, 0);
+  EXPECT_GE(r.recovery_latency, 0);
+
+  const double bound = (num_links - 1.0) / num_links * r.pre_fault_throughput;
+  EXPECT_GT(r.pre_fault_throughput, 0.0);
+  EXPECT_GE(r.post_fault_throughput, 0.85 * bound)
+      << "post=" << r.post_fault_throughput << " pre=" << r.pre_fault_throughput;
+}
+
+TEST(Campaign, DeterministicForFixedSeed) {
+  Config cfg = Config::paper_baseline();
+  cfg.fault_layer = true;
+  chaos::Scenario s;
+  s.config = cfg;
+  s.run_cycles = 800;
+  s.flows = {{0, 5, 32, 64, 1}};
+  s.background_rate = 0.1;
+  s.events = {{/*at=*/200, chaos::EventKind::kLinkDeath, 0, Port::kRowPos}};
+
+  const auto a = chaos::CampaignRunner::run_scenario(s, 7);
+  const auto b = chaos::CampaignRunner::run_scenario(s, 7);
+  EXPECT_EQ(a.words_delivered, b.words_delivered);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+  EXPECT_EQ(a.crc_rejects, b.crc_rejects);
+  EXPECT_EQ(a.bg_packets_injected, b.bg_packets_injected);
+  EXPECT_EQ(a.pre_fault_throughput, b.pre_fault_throughput);
+  EXPECT_EQ(a.post_fault_throughput, b.post_fault_throughput);
+}
+
+// Satellite: the reliable channel under injected transient bit flips, for
+// every seed in a 50-seed sweep (runs under the asan and tsan presets; the
+// campaign runner shards seeds across the sweep thread pool).
+TEST(Campaign, TransientFlips50SeedSweep) {
+  Config cfg = Config::paper_baseline();
+  cfg.fault_layer = true;
+  const auto topology = cfg.make_topology();
+  const routing::RouteComputer routes(*topology);
+
+  chaos::Scenario s;
+  s.name = "transient_sweep";
+  s.config = cfg;
+  s.run_cycles = 1500;
+  s.flows = {{0, 2, /*words=*/24, /*retry_timeout=*/64, /*service_class=*/1},
+             {5, 9, /*words=*/24, /*retry_timeout=*/64, /*service_class=*/1}};
+  {
+    chaos::Event e;
+    e.at = 20;
+    e.kind = chaos::EventKind::kTransientFlips;
+    e.node = 0;
+    e.port = routes.port_path(0, 2).front();
+    e.flip_probability = 0.2;
+    e.duration = 1000;
+    s.events.push_back(e);
+    e.node = 5;
+    e.port = routes.port_path(5, 9).front();
+    s.events.push_back(e);
+  }
+
+  chaos::CampaignRunner runner;
+  const auto results = runner.run_repeated(s, 50);
+  ASSERT_EQ(results.size(), 50u);
+  for (const auto& r : results) {
+    // Duplicates are dropped, delivery is in order (the per-flow handler
+    // only counts exact in-order words), and every word is eventually
+    // acknowledged — for every seed.
+    EXPECT_EQ(r.words_lost, 0) << "seed " << r.seed;
+    EXPECT_EQ(r.words_delivered, r.words_offered) << "seed " << r.seed;
+    EXPECT_EQ(r.flows_completed, r.flow_count) << "seed " << r.seed;
+  }
+}
+
+}  // namespace
+}  // namespace ocn

@@ -75,6 +75,33 @@ TEST(SteeredLink, MoreFaultsThanSparesIsDetected) {
   EXPECT_FALSE(link.healthy());
 }
 
+TEST(SteeredLink, ExcessFaultCorruptionIsConfined) {
+  // Steering with more faults than spares: configure_steering() reports the
+  // link unrepairable, but transmit() must still be well-defined — the skip
+  // list covers every faulty wire, so no logical bit reads a stuck wire or
+  // any position outside the wire array. The top fault_count()-spares()
+  // logical bits shift past the last wire and read back 0; every lower bit
+  // is delivered intact (asan checks the no-out-of-range claim).
+  SteeredLink link(8, 1);
+  link.inject_stuck_at(2, true);
+  link.inject_stuck_at(5, false);
+  link.inject_stuck_at(7, true);
+  ASSERT_FALSE(link.configure_steering());
+  EXPECT_FALSE(link.healthy());
+
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto bits = random_bits(rng, 8);
+    const auto out = link.transmit(bits);
+    ASSERT_EQ(out.size(), bits.size());
+    // 8 logical bits over 9 wires with 3 skipped leaves 6 live positions:
+    // bits 0..5 are intact, bits 6..7 (fault_count - spares = 2) read 0.
+    for (int i = 0; i < 6; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], bits[static_cast<std::size_t>(i)]) << i;
+    EXPECT_FALSE(out[6]);
+    EXPECT_FALSE(out[7]);
+  }
+}
+
 TEST(PayloadBits, RoundTrip) {
   Rng rng(4);
   router::Payload p{rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64()};
