@@ -1,0 +1,208 @@
+// ocn-diff — lockstep reference-model differential harness CLI.
+//
+// Runs the production core::Network and the deliberately-simple ref::
+// RefNetwork on identical seeded traffic, comparing credit counts, buffer
+// and allocation state, arbiter rotations, and the delivery log after every
+// cycle. Examples:
+//
+//   ocn-diff                          # quick campaign: config matrix x seeds
+//   ocn-diff --seeds 200             # longer campaign, same matrix
+//   ocn-diff --cell piggyback        # restrict the matrix to one cell
+//   ocn-diff --replay failure.csv    # re-run a minimized divergence trace
+//   ocn-diff --replay failure.csv --kill-node 0 --kill-port row+ --kill-cycle 60
+//   ocn-diff --trace-out DIR         # write each failure's minimized trace
+//
+// A campaign synthesizes an independent bursty trace per (cell, seed) point
+// and shards points over the sweep thread pool; any divergence is ddmin-
+// minimized and printed as a replayable CSV. Exit status: 0 when every
+// point agrees, 1 on any divergence, 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "ref/campaign.h"
+#include "ref/diff.h"
+#include "traffic/replay.h"
+
+using namespace ocn;
+
+namespace {
+
+struct Options {
+  int seeds = 50;
+  Cycle trace_cycles = 400;
+  Cycle max_cycles = 20000;
+  int threads = 0;
+  std::uint64_t master_seed = 42;
+  bool minimize = true;
+  bool quiet = false;
+  std::string cell;       ///< restrict the matrix to cells containing this
+  std::string replay;     ///< path of a divergence trace to re-run
+  std::string trace_out;  ///< directory for failure traces
+  // --replay scenario override (otherwise clean).
+  ref::Scenario scenario;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --seeds N            lockstep points per matrix cell (default 50)\n"
+      "  --trace-cycles N     horizon of each synthesized trace (default 400)\n"
+      "  --max-cycles N       per-point cycle bound (default 20000)\n"
+      "  --threads N          sweep workers (default: hardware)\n"
+      "  --seed S             campaign master seed (default 42)\n"
+      "  --cell NAME          only matrix cells whose name contains NAME\n"
+      "  --no-minimize        skip ddmin on failures (faster)\n"
+      "  --trace-out DIR      write each failure's minimized trace CSV there\n"
+      "  --replay FILE        re-run one trace CSV in lockstep instead of a\n"
+      "                       campaign (paper-baseline config; add chaos with\n"
+      "                       --kill-node N --kill-port P --kill-cycle C)\n"
+      "  --kill-node N --kill-port row+|row-|col+|col- --kill-cycle C\n"
+      "  --quiet              summary line only\n",
+      argv0);
+  std::exit(2);
+}
+
+topo::Port parse_port(const std::string& s, const char* argv0) {
+  if (s == "row+") return topo::Port::kRowPos;
+  if (s == "row-") return topo::Port::kRowNeg;
+  if (s == "col+") return topo::Port::kColPos;
+  if (s == "col-") return topo::Port::kColNeg;
+  std::fprintf(stderr, "unknown port '%s'\n", s.c_str());
+  usage(argv0);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (a == "--seeds") {
+      o.seeds = std::atoi(next());
+    } else if (a == "--trace-cycles") {
+      o.trace_cycles = std::atoll(next());
+    } else if (a == "--max-cycles") {
+      o.max_cycles = std::atoll(next());
+    } else if (a == "--threads") {
+      o.threads = std::atoi(next());
+    } else if (a == "--seed") {
+      o.master_seed = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--cell") {
+      o.cell = next();
+    } else if (a == "--no-minimize") {
+      o.minimize = false;
+    } else if (a == "--trace-out") {
+      o.trace_out = next();
+    } else if (a == "--replay") {
+      o.replay = next();
+    } else if (a == "--kill-node") {
+      o.scenario.kill_node = std::atoi(next());
+    } else if (a == "--kill-port") {
+      o.scenario.kill_port = parse_port(next(), argv[0]);
+    } else if (a == "--kill-cycle") {
+      o.scenario.kill_cycle = std::atoll(next());
+    } else if (a == "--quiet") {
+      o.quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+      usage(argv[0]);
+    }
+  }
+  return o;
+}
+
+int run_replay(const Options& o) {
+  std::ifstream in(o.replay);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", o.replay.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::vector<traffic::TraceEntry> trace = traffic::parse_trace(buf.str());
+
+  core::Config config = core::Config::paper_baseline();
+  if (o.scenario.active()) config.fault_layer = true;
+  const ref::DiffResult r =
+      ref::run_lockstep(config, o.scenario, trace, o.max_cycles);
+  if (r.diverged) {
+    std::printf("DIVERGED replaying %s (%s)\n%s\n", o.replay.c_str(),
+                o.scenario.to_string().c_str(),
+                r.divergence.to_string().c_str());
+    return 1;
+  }
+  std::printf(
+      "ok: %s agrees over %lld cycles (%lld deliveries, %s, drained=%d)\n",
+      o.replay.c_str(), static_cast<long long>(r.cycles_run),
+      static_cast<long long>(r.deliveries), o.scenario.to_string().c_str(),
+      r.drained ? 1 : 0);
+  return 0;
+}
+
+int run_campaign(const Options& o) {
+  std::vector<ref::CampaignCell> cells = ref::quick_matrix();
+  if (!o.cell.empty()) {
+    std::vector<ref::CampaignCell> kept;
+    for (auto& c : cells) {
+      if (c.name.find(o.cell) != std::string::npos) kept.push_back(c);
+    }
+    cells = std::move(kept);
+    if (cells.empty()) {
+      std::fprintf(stderr, "no matrix cell matches '%s'\n", o.cell.c_str());
+      return 2;
+    }
+  }
+
+  ref::CampaignOptions co;
+  co.seeds = o.seeds;
+  co.trace_cycles = o.trace_cycles;
+  co.max_cycles = o.max_cycles;
+  co.threads = o.threads;
+  co.master_seed = o.master_seed;
+  co.minimize = o.minimize;
+
+  if (!o.quiet) {
+    std::printf("ocn-diff: %zu cells x %d seeds = %zu lockstep points\n",
+                cells.size(), co.seeds, cells.size() * static_cast<std::size_t>(co.seeds));
+  }
+  const ref::CampaignResult result = ref::run_campaign(cells, co);
+
+  for (std::size_t i = 0; i < result.failures.size(); ++i) {
+    const ref::PointResult& f = result.failures[i];
+    std::printf("DIVERGED cell=%s seed=%llu\n%s\n", f.cell.c_str(),
+                static_cast<unsigned long long>(f.seed),
+                f.divergence.to_string().c_str());
+    if (!o.trace_out.empty()) {
+      const std::string path = o.trace_out + "/divergence-" + f.cell + "-" +
+                               std::to_string(f.seed) + ".csv";
+      std::ofstream out(path);
+      out << f.report;
+      std::printf("  minimized trace written to %s\n", path.c_str());
+    } else if (!o.quiet) {
+      std::printf("--- minimized trace ---\n%s---\n", f.report.c_str());
+    }
+  }
+  std::printf("ocn-diff: %d points, %lld deliveries compared, %d divergence%s\n",
+              result.points, static_cast<long long>(result.deliveries),
+              result.diverged, result.diverged == 1 ? "" : "s");
+  return result.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  try {
+    if (!o.replay.empty()) return run_replay(o);
+    return run_campaign(o);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ocn-diff: %s\n", e.what());
+    return 2;
+  }
+}

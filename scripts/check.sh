@@ -13,6 +13,10 @@
 #                by scripts/bench_compare.py (e13 numeric, m1 schema-only).
 #   chaos-smoke  quick fault-injection campaign (bench_e15_chaos) vs
 #                bench/baselines/e15_quick.json.
+#   diff-smoke   lockstep reference-model campaign (ocn-diff) over the quick
+#                config matrix (incl. link-death cells) x a small seed set,
+#                plus replay of the checked-in minimized regression trace;
+#                fails on any divergence.
 #
 # Extras that CI runs implicitly via the test suite, kept from the original
 # hygiene gate: the ocn-verify positive/negative smoke.
@@ -102,5 +106,11 @@ echo "== [chaos-smoke] quick fault-injection campaign vs committed baseline =="
 "./$FIRST_BUILD/bench/bench_e15_chaos" --quick --json "$BENCH_OUT/e15_quick.json" >/dev/null
 python3 scripts/bench_compare.py --run "$BENCH_OUT/e15_quick.json" \
   --baseline bench/baselines/e15_quick.json --tolerance 0.05
+
+echo "== [diff-smoke] lockstep reference-model campaign =="
+"./$FIRST_BUILD/examples/ocn-diff" --seeds 10 --trace-cycles 300 --quiet
+"./$FIRST_BUILD/examples/ocn-diff" \
+  --replay tests/data/lockstep_chaos_regression.trace \
+  --kill-node 0 --kill-port row+ --kill-cycle 60
 
 echo "All checks passed."

@@ -130,6 +130,12 @@ class Network {
   /// Costs one branch per link send while enabled.
   void enable_tracing(TraceRecorder* recorder);
 
+  /// Install `observer` on every NIC (see Nic::set_delivery_observer); the
+  /// differential harness uses this to log network-wide ejection order.
+  void set_delivery_observer(Nic::DeliveryObserver observer) {
+    for (auto& n : nics_) n->set_delivery_observer(observer);
+  }
+
   // --- statistics ------------------------------------------------------------
   /// Register the whole network in `registry`: aggregate gauges
   /// (`net.packets_injected`, ...), per-NIC (`nic.N.*`), per-router

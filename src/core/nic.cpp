@@ -308,6 +308,7 @@ void Nic::do_injection(Cycle now) {
 }
 
 void Nic::deliver(Packet&& packet) {
+  if (delivery_observer_) delivery_observer_(packet);
   for (const auto& filter : filters_) {
     if (filter(packet)) return;
   }

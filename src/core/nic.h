@@ -48,6 +48,16 @@ class Nic final : public Clockable {
   using Filter = std::function<bool(const Packet&)>;
   void add_filter(Filter filter) { filters_.push_back(std::move(filter)); }
 
+  /// Observer invoked for every packet this NIC delivers, before filters run
+  /// and regardless of handler installation. Non-consuming: the packet is
+  /// still filtered/handled/queued exactly as without an observer. Used by
+  /// the differential harness to log ejection order without perturbing the
+  /// client-visible path.
+  using DeliveryObserver = std::function<void(const Packet&)>;
+  void set_delivery_observer(DeliveryObserver observer) {
+    delivery_observer_ = std::move(observer);
+  }
+
   /// The section-2.1 "ready" field: bit v set when the network can accept a
   /// flit on VC v.
   std::uint8_t ready_mask() const;
@@ -84,6 +94,20 @@ class Nic final : public Clockable {
   }
   /// Flits currently queued for injection (all VCs).
   int queued_flits() const;
+
+  // --- state inspection (differential harness) ------------------------------
+  /// Credits held toward the router's tile input buffer for VC v.
+  int injection_credits(VcId vc) const { return credits_[static_cast<std::size_t>(vc)]; }
+  /// Ejected flits parked awaiting the one-flit-per-cycle consume port.
+  int pending_eject_flits() const {
+    int n = 0;
+    for (const auto& q : eject_pending_) n += static_cast<int>(q.size());
+    return n;
+  }
+  /// Piggyback credits queued to ride on the next injected flit.
+  int carry_backlog() const { return static_cast<int>(carry_to_router_.size()); }
+  const router::PriorityArbiter& inject_arbiter() const { return inject_arb_; }
+  const router::RoundRobinArbiter& eject_arbiter() const { return eject_arb_; }
 
  private:
   struct QueuedFlit {
@@ -132,6 +156,7 @@ class Nic final : public Clockable {
   std::deque<std::pair<Packet, Cycle>> loopback_;  ///< self-addressed, (packet, deliver_at)
 
   DeliveryHandler handler_;
+  DeliveryObserver delivery_observer_;
   std::vector<Filter> filters_;
   std::deque<Packet> received_;
 

@@ -1,0 +1,65 @@
+// Seeded differential campaign: a config matrix x seeds x scenarios grid of
+// lockstep runs, sharded over the sweep thread pool. Every point synthesizes
+// its own trace from the derived seed (sweep determinism contract: results
+// are identical for any thread count), runs run_lockstep, and — on
+// divergence — minimizes the trace and renders a replayable report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "ref/diff.h"
+
+namespace ocn::ref {
+
+struct CampaignOptions {
+  int seeds = 50;                  ///< seeds per (config, scenario) cell
+  Cycle trace_cycles = 400;        ///< horizon of the synthesized traffic
+  Cycle max_cycles = 20000;        ///< lockstep run bound per point
+  int threads = 0;                 ///< <=0: sweep default
+  std::uint64_t master_seed = 42;
+  bool minimize = true;            ///< ddmin failing traces (slower)
+};
+
+/// One (config, scenario) cell of the campaign grid.
+struct CampaignCell {
+  std::string name;
+  core::Config config;
+  Scenario scenario;
+};
+
+/// Outcome of one lockstep point (a cell at one seed).
+struct PointResult {
+  std::string cell;
+  std::uint64_t seed = 0;
+  bool diverged = false;
+  bool drained = false;
+  Cycle cycles_run = 0;
+  std::int64_t deliveries = 0;
+  Divergence divergence;       ///< valid when diverged
+  std::string report;          ///< minimized replayable trace when diverged
+};
+
+struct CampaignResult {
+  int points = 0;
+  int diverged = 0;
+  std::int64_t deliveries = 0;
+  std::vector<PointResult> failures;  ///< only the diverged points
+  bool ok() const { return diverged == 0; }
+};
+
+/// The quick config matrix (every router feature the reference model
+/// supports): paper baseline, mesh, plain torus, piggybacked credits,
+/// dropping flow control, two-stage pipeline, plain round-robin
+/// arbitration, small buffers, link latency 2 — plus fault-layer variants
+/// for the kill-link scenarios.
+std::vector<CampaignCell> quick_matrix();
+
+/// Run `options.seeds` lockstep points per cell. Cells and seeds shard over
+/// the sweep pool; per-point traces derive from derive_seed(master_seed, i).
+CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
+                            const CampaignOptions& options);
+
+}  // namespace ocn::ref

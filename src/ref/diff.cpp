@@ -1,0 +1,240 @@
+#include "ref/diff.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "chaos/chaos.h"
+#include "core/network.h"
+
+namespace ocn::ref {
+
+namespace {
+
+constexpr std::size_t kMaxDetailLines = 16;
+
+/// Walk the production network in the exact order RefNetwork::snapshot
+/// documents. Any new field added to one side must be added to the other
+/// (a length mismatch is itself reported as a "shape" divergence).
+void production_snapshot(core::Network& net, const traffic::TraceReplay& replay,
+                         std::int64_t deliveries,
+                         std::vector<std::int64_t>& out) {
+  const int vcs = net.config().router.vcs;
+  for (NodeId n = 0; n < net.num_nodes(); ++n) {
+    core::Nic& nic = net.nic(n);
+    out.push_back(nic.packets_injected());
+    out.push_back(nic.packets_delivered());
+    out.push_back(nic.flits_injected());
+    out.push_back(nic.flits_delivered());
+    out.push_back(nic.injection_queue_rejects());
+    out.push_back(nic.queued_flits());
+    out.push_back(nic.pending_eject_flits());
+    out.push_back(nic.carry_backlog());
+    out.push_back(nic.inject_arbiter().pointer());
+    out.push_back(nic.eject_arbiter().pointer());
+    for (VcId v = 0; v < vcs; ++v) out.push_back(nic.injection_credits(v));
+
+    router::Router& r = net.router_at(n);
+    for (int p = 0; p < topo::kNumPorts; ++p) {
+      const auto port = static_cast<topo::Port>(p);
+      const router::InputController& in = r.input(port);
+      if (!in.attached()) continue;
+      out.push_back(in.flits_arrived());
+      out.push_back(in.flits_dropped());
+      out.push_back(r.switch_arb(port).pointer());
+      for (VcId v = 0; v < vcs; ++v) {
+        const router::VcBuffer& buf = in.vc(v);
+        out.push_back(buf.size());
+        out.push_back(buf.routed ? 1 : 0);
+        out.push_back(static_cast<std::int64_t>(buf.out_port));
+        out.push_back(buf.out_vc);
+      }
+    }
+    for (int p = 0; p < topo::kNumPorts; ++p) {
+      const router::OutputController& o = r.output(static_cast<topo::Port>(p));
+      if (!o.attached()) continue;
+      out.push_back(o.flits_sent());
+      out.push_back(o.credit_only_flits());
+      out.push_back(o.carry_backlog());
+      out.push_back(o.staged_flits());
+      out.push_back(o.link_arbiter().pointer());
+      out.push_back(o.vc_alloc().rotation());
+      for (VcId v = 0; v < vcs; ++v) {
+        out.push_back(o.credits(v));
+        out.push_back(o.vc_alloc().is_allocated(v) ? 1 : 0);
+      }
+    }
+  }
+  out.push_back(replay.injected());
+  out.push_back(replay.deferred_injections());
+  out.push_back(deliveries);
+}
+
+}  // namespace
+
+std::string Scenario::to_string() const {
+  if (!active()) return "clean";
+  std::ostringstream out;
+  out << "kill_link node=" << kill_node << " port="
+      << topo::port_name(kill_port) << " cycle=" << kill_cycle;
+  return out.str();
+}
+
+std::string Divergence::to_string() const {
+  std::ostringstream out;
+  out << kind << " divergence at cycle " << cycle;
+  for (const auto& d : details) out << "\n  " << d;
+  return out.str();
+}
+
+DiffResult run_lockstep(const core::Config& config, const Scenario& scenario,
+                        const std::vector<traffic::TraceEntry>& trace,
+                        Cycle max_cycles, const Perturbation* perturb) {
+  core::Network net(config);
+  traffic::TraceReplay replay(net, trace);
+  std::vector<DeliveryRecord> prod_log;
+  net.set_delivery_observer([&prod_log](const core::Packet& p) {
+    prod_log.push_back(reduce_delivery(p));
+  });
+  replay.start();
+
+  RefNetwork ref(config);
+  ref.add_trace(trace);
+
+  DiffResult result;
+  std::vector<std::int64_t> prod_state;
+  std::vector<std::int64_t> ref_state;
+  std::size_t compared = 0;
+
+  for (Cycle c = 0; c < max_cycles; ++c) {
+    if (scenario.active() && c == scenario.kill_cycle) {
+      const chaos::DegradeReport report =
+          chaos::kill_link(net, scenario.kill_node, scenario.kill_port);
+      ref.kill_link(scenario.kill_node, scenario.kill_port, report.committed);
+    }
+    if (perturb != nullptr && c == perturb->cycle) {
+      ref.perturb_credit(perturb->node, perturb->port, perturb->vc,
+                         perturb->delta);
+    }
+    net.step();
+    ref.tick();
+    ++result.cycles_run;
+
+    // Delivery log first: a mismatched ejection gives a far better message
+    // than the counter drift it also causes.
+    const auto& ref_log = ref.deliveries();
+    const std::size_t both = std::min(prod_log.size(), ref_log.size());
+    for (std::size_t i = compared; i < both; ++i) {
+      if (prod_log[i] == ref_log[i]) continue;
+      result.diverged = true;
+      result.divergence.cycle = c;
+      result.divergence.kind = "delivery";
+      result.divergence.details.push_back(
+          "delivery[" + std::to_string(i) + "] production: " +
+          prod_log[i].to_string());
+      result.divergence.details.push_back(
+          "delivery[" + std::to_string(i) + "] reference:  " +
+          ref_log[i].to_string());
+      result.deliveries = static_cast<std::int64_t>(prod_log.size());
+      return result;
+    }
+    compared = both;
+
+    prod_state.clear();
+    ref_state.clear();
+    production_snapshot(net, replay,
+                        static_cast<std::int64_t>(prod_log.size()), prod_state);
+    ref.snapshot(ref_state);
+    if (prod_state != ref_state) {
+      result.diverged = true;
+      result.divergence.cycle = c;
+      result.deliveries = static_cast<std::int64_t>(prod_log.size());
+      if (prod_state.size() != ref_state.size()) {
+        result.divergence.kind = "shape";
+        result.divergence.details.push_back(
+            "state vector length: production=" +
+            std::to_string(prod_state.size()) +
+            " reference=" + std::to_string(ref_state.size()));
+        return result;
+      }
+      result.divergence.kind = "state";
+      const std::vector<std::string> labels = ref.snapshot_labels();
+      std::size_t mismatches = 0;
+      for (std::size_t i = 0; i < prod_state.size(); ++i) {
+        if (prod_state[i] == ref_state[i]) continue;
+        ++mismatches;
+        if (result.divergence.details.size() < kMaxDetailLines) {
+          result.divergence.details.push_back(
+              labels[i] + ": production=" + std::to_string(prod_state[i]) +
+              " reference=" + std::to_string(ref_state[i]));
+        }
+      }
+      if (mismatches > kMaxDetailLines) {
+        result.divergence.details.push_back(
+            "... and " + std::to_string(mismatches - kMaxDetailLines) +
+            " more mismatching fields");
+      }
+      return result;
+    }
+
+    if (replay.finished() && net.idle() && ref.drained()) {
+      result.drained = true;
+      break;
+    }
+  }
+  result.deliveries = static_cast<std::int64_t>(prod_log.size());
+  return result;
+}
+
+MinimizeResult minimize_divergence(const core::Config& config,
+                                   const Scenario& scenario,
+                                   std::vector<traffic::TraceEntry> trace,
+                                   Cycle max_cycles,
+                                   const Perturbation* perturb) {
+  MinimizeResult res;
+  std::vector<traffic::TraceEntry> cur = std::move(trace);
+  std::size_t granularity = 2;
+  while (cur.size() >= 2) {
+    const std::size_t chunk = (cur.size() + granularity - 1) / granularity;
+    bool reduced = false;
+    for (std::size_t start = 0; start < cur.size(); start += chunk) {
+      std::vector<traffic::TraceEntry> candidate;
+      candidate.reserve(cur.size());
+      for (std::size_t i = 0; i < cur.size(); ++i) {
+        if (i < start || i >= start + chunk) candidate.push_back(cur[i]);
+      }
+      ++res.probes;
+      if (run_lockstep(config, scenario, candidate, max_cycles, perturb)
+              .diverged) {
+        cur = std::move(candidate);
+        granularity = std::max<std::size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= cur.size()) break;
+      granularity = std::min(cur.size(), granularity * 2);
+    }
+  }
+  res.trace = std::move(cur);
+  return res;
+}
+
+std::string divergence_report(const core::Config& config,
+                              const Scenario& scenario,
+                              const std::vector<traffic::TraceEntry>& trace,
+                              const DiffResult& result) {
+  std::ostringstream out;
+  out << "# ocn-diff divergence trace (replay: ocn-diff --replay <file>)\n";
+  out << "# config: " << config.summary() << '\n';
+  out << "# scenario: " << scenario.to_string() << '\n';
+  if (result.diverged) {
+    std::istringstream lines(result.divergence.to_string());
+    std::string line;
+    while (std::getline(lines, line)) out << "# " << line << '\n';
+  }
+  out << traffic::trace_to_csv(trace);
+  return out.str();
+}
+
+}  // namespace ocn::ref

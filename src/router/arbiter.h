@@ -28,6 +28,12 @@ class RoundRobinArbiter {
 
   int inputs() const { return inputs_; }
 
+  /// Grant pointer: the input that wins the next all-request tie. Exposed so
+  /// the differential harness can compare arbiter state between the
+  /// production router and the reference model before a mis-grant becomes
+  /// externally visible.
+  int pointer() const { return next_; }
+
  private:
   int inputs_;
   int next_ = 0;
@@ -40,6 +46,9 @@ class PriorityArbiter {
   /// Grant among the highest-priority requesters; ties rotate.
   /// `priority[i]` is only inspected where requests[i] is true.
   int arbitrate(const std::vector<bool>& requests, const std::vector<int>& priority);
+
+  /// See RoundRobinArbiter::pointer().
+  int pointer() const { return rr_.pointer(); }
 
  private:
   RoundRobinArbiter rr_;

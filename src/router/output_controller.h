@@ -79,8 +79,18 @@ class OutputController {
   int credits(VcId vc) const { return credits_[static_cast<std::size_t>(vc)]; }
 
   VcAllocator& vc_alloc() { return vc_alloc_; }
+  const VcAllocator& vc_alloc() const { return vc_alloc_; }
   ReservationTable& reservations() { return reservations_; }
   const ReservationTable& reservations() const { return reservations_; }
+
+  // --- state inspection (differential harness) ------------------------------
+  /// Flits currently sitting in the per-input stage registers.
+  int staged_flits() const {
+    int n = 0;
+    for (const auto& s : stage_) n += s.has_value() ? 1 : 0;
+    return n;
+  }
+  const PriorityArbiter& link_arbiter() const { return link_arb_; }
 
   // --- output stage ---------------------------------------------------------
   bool stage_empty(int input) const { return !stage_[static_cast<std::size_t>(input)].has_value(); }

@@ -55,6 +55,13 @@ class Router final : public Clockable {
   /// (see DESIGN.md on deadlock freedom). Exposed for tests.
   bool effective_dateline(const Flit& head, topo::Port in_port, topo::Port out_port) const;
 
+  /// Per-input switch arbiter (over VCs); exposed read-only so the
+  /// differential harness can compare rotation state against the reference
+  /// model before a mis-grant becomes externally visible.
+  const PriorityArbiter& switch_arb(topo::Port in) const {
+    return switch_arbs_[static_cast<std::size_t>(in)];
+  }
+
   // Aggregated statistics.
   std::int64_t buffer_writes() const;
   std::int64_t buffer_reads() const;

@@ -37,6 +37,9 @@ class VcAllocator {
   bool is_allocated(VcId vc) const { return allocated_[static_cast<std::size_t>(vc)]; }
   int vcs() const { return static_cast<int>(allocated_.size()); }
   int free_count() const;
+  /// Fairness-rotation pointer: the VC scanned first on the next allocate().
+  /// Exposed for the differential harness's state comparison.
+  int rotation() const { return rr_; }
 
   /// Exclude a VC from dynamic allocation (reserved for scheduled traffic).
   void set_excluded(VcId vc, bool excluded);

@@ -83,9 +83,16 @@ void Histogram::merge(const Histogram& other) {
 double Histogram::percentile(double fraction) const {
   if (total_ == 0) return 0.0;
   fraction = std::clamp(fraction, 0.0, 1.0);
-  const auto target = static_cast<std::int64_t>(std::ceil(fraction * static_cast<double>(total_)));
-  // ceil(0 * total) == 0 would "land" in the first bin scanned and report
-  // one full bin_width; the 0th percentile is by definition 0.
+  // The rank of the requested percentile is ceil(fraction * total), but the
+  // product can overshoot an exact integer by an ulp (0.29 * 100 ==
+  // 29.000000000000004), which ceil would round to the next rank — one bin
+  // too high whenever the rank sits exactly on a bucket boundary. Nudge
+  // below the true product before rounding up; fractions this close to a
+  // boundary are indistinguishable at bin resolution anyway.
+  const double scaled = fraction * static_cast<double>(total_);
+  auto target = static_cast<std::int64_t>(std::ceil(scaled - 1e-9));
+  if (target < 1 && fraction > 0.0) target = 1;
+  // The 0th percentile is by definition 0.
   if (target <= 0) return 0.0;
   std::int64_t seen = 0;
   for (std::size_t i = 0; i + 1 < counts_.size(); ++i) {

@@ -2,7 +2,9 @@
 // equivalence with the dedicated-wire model, credit-only filler flits.
 #include <gtest/gtest.h>
 
+#include "chaos/chaos.h"
 #include "core/network.h"
+#include "services/reliable.h"
 #include "traffic/generator.h"
 #include "traffic/scheduled.h"
 
@@ -144,6 +146,107 @@ TEST(Piggyback, ScheduledFlowsStillJitterFree) {
   harness.run();
   EXPECT_GT(flow.received(), 100);
   EXPECT_DOUBLE_EQ(flow.interarrival().stddev(), 0.0);
+}
+
+// Credit-accounting audit regressions. Every credit is born when a buffer
+// slot frees and dies when one is claimed, so after the network drains and
+// in-flight piggyback carriers flush, every per-VC credit counter — NIC
+// injection credits and router output credits — must sit exactly at
+// buffer_depth, every carry queue must be empty, and no downstream VC may
+// still be allocated. A lost credit (idle-channel harvest dropped) shows up
+// as a counter below depth; a double restore (e.g. a credit re-granted
+// around an ARQ retransmission) as one above.
+void expect_credits_fully_restored(Network& net, const char* context) {
+  const int vcs = net.config().router.vcs;
+  const int depth = net.config().router.buffer_depth;
+  for (NodeId n = 0; n < net.num_nodes(); ++n) {
+    core::Nic& nic = net.nic(n);
+    EXPECT_EQ(nic.carry_backlog(), 0) << context << ": nic " << n;
+    EXPECT_EQ(nic.pending_eject_flits(), 0) << context << ": nic " << n;
+    for (VcId v = 0; v < vcs; ++v) {
+      EXPECT_EQ(nic.injection_credits(v), depth)
+          << context << ": nic " << n << " vc " << v;
+    }
+    for (int p = 0; p < topo::kNumPorts; ++p) {
+      const auto& out = net.router_at(n).output(static_cast<topo::Port>(p));
+      if (!out.attached()) continue;
+      EXPECT_EQ(out.carry_backlog(), 0)
+          << context << ": node " << n << " out port " << p;
+      EXPECT_EQ(out.staged_flits(), 0)
+          << context << ": node " << n << " out port " << p;
+      for (VcId v = 0; v < vcs; ++v) {
+        EXPECT_EQ(out.credits(v), depth)
+            << context << ": node " << n << " out port " << p << " vc " << v;
+        EXPECT_FALSE(out.vc_alloc().is_allocated(v))
+            << context << ": node " << n << " out port " << p << " vc " << v;
+      }
+    }
+  }
+}
+
+TEST(Piggyback, CreditConservationAfterDrain) {
+  Network net(piggyback_config());
+  // One-directional bursts (credits return via credit-only flits on idle
+  // reverse links) plus bidirectional pairs (credits ride real flits).
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(net.nic(0).inject(core::make_word_packet(15, i % 3, 1), net.now()));
+    ASSERT_TRUE(net.nic(7).inject(core::make_word_packet(8, 0, 2), net.now()));
+    ASSERT_TRUE(net.nic(8).inject(core::make_word_packet(7, 0, 3), net.now()));
+    net.step();
+  }
+  ASSERT_TRUE(net.drain(20000));
+  // idle() ignores in-flight credit-only carriers; let them flush.
+  net.run(300);
+  expect_credits_fully_restored(net, "clean piggyback drain");
+}
+
+TEST(Piggyback, CreditConservationSurvivesLinkDeath) {
+  Config c = piggyback_config();
+  c.fault_layer = true;
+  Network net(c);
+  const topo::Port victim = net.routes().port_path(0, 5).front();
+  // Load crossing the soon-to-die link from both sides.
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(net.nic(0).inject(core::make_word_packet(5, i % 3, 1), net.now()));
+    ASSERT_TRUE(net.nic(5).inject(core::make_word_packet(0, i % 3, 1), net.now()));
+    net.step();
+  }
+  const auto report = chaos::kill_link(net, 0, victim);
+  EXPECT_TRUE(report.committed);
+  // Keep injecting after the kill: new packets take the rerouted paths while
+  // in-flight flits still cross the dead (payload-inverting) link; credits
+  // must keep flowing either way.
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(net.nic(0).inject(core::make_word_packet(5, i % 3, 1), net.now()));
+    net.step();
+  }
+  ASSERT_TRUE(net.drain(20000));
+  net.run(300);
+  EXPECT_EQ(net.stats().packets_dropped, 0);
+  EXPECT_EQ(net.stats().flits_injected, net.stats().flits_delivered);
+  expect_credits_fully_restored(net, "piggyback + link death");
+}
+
+TEST(Piggyback, NoDoubleRestoreUnderArqRetransmissions) {
+  Config c = piggyback_config();
+  c.fault_layer = true;
+  Network net(c);
+  services::ReliableChannel channel(net, 0, 5, /*retry_timeout=*/128);
+  for (std::uint64_t w = 0; w < 40; ++w) channel.send(0x1000 + w);
+  net.run(100);
+  // Kill the link mid-flow: in-flight data words get corrupted (CRC
+  // rejects) and the ARQ layer retransmits them along the rerouted path.
+  // Each retransmission re-runs the whole credit loop; a double restore
+  // anywhere would push a counter past buffer_depth.
+  const topo::Port victim = net.routes().port_path(0, 5).front();
+  const auto report = chaos::kill_link(net, 0, victim);
+  EXPECT_TRUE(report.committed);
+  for (int i = 0; i < 60000 && !channel.all_acknowledged(); ++i) net.step();
+  ASSERT_TRUE(channel.all_acknowledged());
+  EXPECT_EQ(channel.received().size(), 40u);
+  ASSERT_TRUE(net.drain(20000));
+  net.run(300);
+  expect_credits_fully_restored(net, "piggyback + ARQ over dead link");
 }
 
 TEST(Piggyback, WorksOnMesh) {

@@ -1,0 +1,179 @@
+// Reference model + differential harness: lockstep agreement across the
+// config matrix, divergence detection (via the seeded-perturbation hook),
+// ddmin trace minimization, and replayable failure reports.
+#include <gtest/gtest.h>
+
+#include "ref/campaign.h"
+#include "ref/diff.h"
+#include "ref/ref_model.h"
+#include "traffic/replay.h"
+
+namespace ocn {
+namespace {
+
+using core::Config;
+using ref::DiffResult;
+using ref::Perturbation;
+using ref::RefNetwork;
+using ref::Scenario;
+using traffic::TraceEntry;
+
+std::vector<TraceEntry> small_trace(const Config& config, std::uint64_t seed) {
+  const int nodes = config.make_topology()->num_nodes();
+  return traffic::synthesize_soc_trace(nodes, /*flows=*/6, /*bursts=*/6,
+                                       /*burst_len=*/3, /*period=*/40, seed);
+}
+
+TEST(RefModel, RejectsUnsupportedConfigs) {
+  Config scheduled = Config::paper_baseline();
+  scheduled.router.exclusive_scheduled_vc = true;
+  EXPECT_THROW(RefNetwork{scheduled}, std::invalid_argument);
+
+  Config partitioned = Config::paper_baseline();
+  partitioned.interface_partitions = 2;
+  partitioned.flit_data_bits = 256;
+  EXPECT_THROW(RefNetwork{partitioned}, std::invalid_argument);
+}
+
+TEST(RefModel, DrainsASmallTraceStandalone) {
+  const Config config = Config::paper_baseline();
+  RefNetwork ref(config);
+  ref.add_trace(small_trace(config, 7));
+  for (int c = 0; c < 5000 && !ref.drained(); ++c) ref.tick();
+  EXPECT_TRUE(ref.drained());
+  EXPECT_GT(ref.deliveries().size(), 0u);
+  EXPECT_EQ(ref.replay_injected(),
+            static_cast<std::int64_t>(ref.deliveries().size()));
+}
+
+TEST(Lockstep, CleanRunAgreesAndDrains) {
+  const Config config = Config::paper_baseline();
+  const DiffResult r =
+      ref::run_lockstep(config, Scenario{}, small_trace(config, 11), 20000);
+  EXPECT_FALSE(r.diverged) << r.divergence.to_string();
+  EXPECT_TRUE(r.drained);
+  EXPECT_GT(r.deliveries, 0);
+}
+
+TEST(Lockstep, KillLinkRunAgreesAndDrains) {
+  Config config = Config::paper_baseline();
+  config.fault_layer = true;
+  Scenario kill;
+  kill.kill_node = 0;
+  kill.kill_port = topo::Port::kRowPos;
+  kill.kill_cycle = 60;
+  const DiffResult r =
+      ref::run_lockstep(config, kill, small_trace(config, 13), 20000);
+  EXPECT_FALSE(r.diverged) << r.divergence.to_string();
+  EXPECT_TRUE(r.drained);
+  EXPECT_GT(r.deliveries, 0);
+}
+
+// The harness must actually be comparing: a single credit-count skew seeded
+// into the reference model mid-run has to surface as a state divergence
+// naming the perturbed counter.
+TEST(Lockstep, DetectsSeededCreditSkew) {
+  const Config config = Config::paper_baseline();
+  Perturbation p;
+  p.cycle = 50;
+  p.node = 0;
+  p.port = topo::Port::kRowPos;
+  p.vc = 0;
+  p.delta = 1;
+  const DiffResult r = ref::run_lockstep(config, Scenario{},
+                                         small_trace(config, 17), 20000, &p);
+  ASSERT_TRUE(r.diverged);
+  EXPECT_EQ(r.divergence.kind, "state");
+  EXPECT_EQ(r.divergence.cycle, 50);
+  ASSERT_FALSE(r.divergence.details.empty());
+  EXPECT_NE(r.divergence.details[0].find("n0.out.row+.vc0.credits"),
+            std::string::npos)
+      << r.divergence.details[0];
+}
+
+// ddmin on a trace-independent divergence collapses the trace to (near)
+// nothing, and the report round-trips through parse_trace.
+TEST(Minimizer, ShrinksTraceAndReportRoundTrips) {
+  const Config config = Config::paper_baseline();
+  Perturbation p;
+  p.cycle = 5;
+  p.node = 1;
+  p.port = topo::Port::kColNeg;
+  p.vc = 3;
+  p.delta = -1;
+  const std::vector<TraceEntry> trace = small_trace(config, 19);
+  ASSERT_TRUE(ref::run_lockstep(config, Scenario{}, trace, 2000, &p).diverged);
+
+  const ref::MinimizeResult m =
+      ref::minimize_divergence(config, Scenario{}, trace, 2000, &p);
+  EXPECT_LE(m.trace.size(), 1u);  // divergence does not depend on the trace
+  EXPECT_GT(m.probes, 0);
+
+  const DiffResult final_run =
+      ref::run_lockstep(config, Scenario{}, m.trace, 2000, &p);
+  ASSERT_TRUE(final_run.diverged);
+  const std::string report =
+      ref::divergence_report(config, Scenario{}, m.trace, final_run);
+  const std::vector<TraceEntry> back = traffic::parse_trace(report);
+  ASSERT_EQ(back.size(), m.trace.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].cycle, m.trace[i].cycle);
+    EXPECT_EQ(back[i].src, m.trace[i].src);
+    EXPECT_EQ(back[i].dst, m.trace[i].dst);
+  }
+  EXPECT_NE(report.find("state divergence"), std::string::npos);
+}
+
+// A divergence that needs traffic to manifest: skew a credit upward and the
+// reference router eventually forwards a flit the production router holds
+// back. The minimizer must keep a witness, and the minimized trace must
+// still diverge — the checked-in regression workflow end to end.
+TEST(Minimizer, KeepsAWitnessWhenTrafficIsRequired) {
+  const Config config = Config::paper_baseline();
+  Perturbation p;
+  p.cycle = 0;
+  p.node = 5;
+  p.port = topo::Port::kRowPos;
+  p.vc = 0;
+  p.delta = 2;
+  const std::vector<TraceEntry> trace = small_trace(config, 23);
+  ASSERT_TRUE(ref::run_lockstep(config, Scenario{}, trace, 2000, &p).diverged);
+  const ref::MinimizeResult m =
+      ref::minimize_divergence(config, Scenario{}, trace, 2000, &p);
+  EXPECT_LT(m.trace.size(), trace.size());
+  EXPECT_TRUE(ref::run_lockstep(config, Scenario{}, m.trace, 2000, &p).diverged);
+}
+
+// Two-cell campaign smoke (the full matrix runs in ocn-diff / CI).
+TEST(Campaign, QuickCellsAgreeOverSeeds) {
+  std::vector<ref::CampaignCell> cells = ref::quick_matrix();
+  ASSERT_GE(cells.size(), 10u);
+  // Keep one clean and one chaos cell for the in-tree smoke.
+  std::vector<ref::CampaignCell> picked;
+  for (const auto& c : cells) {
+    if (c.name == "piggyback" || c.name == "chaos-baseline") picked.push_back(c);
+  }
+  ASSERT_EQ(picked.size(), 2u);
+  ref::CampaignOptions options;
+  options.seeds = 3;
+  options.trace_cycles = 200;
+  options.max_cycles = 10000;
+  const ref::CampaignResult result = ref::run_campaign(picked, options);
+  EXPECT_EQ(result.points, 6);
+  EXPECT_EQ(result.diverged, 0)
+      << (result.failures.empty() ? ""
+                                  : result.failures[0].divergence.to_string());
+  EXPECT_GT(result.deliveries, 0);
+}
+
+TEST(DeliveryRecordTest, EqualityAndRendering) {
+  ref::DeliveryRecord a{10, 1, 2, 42, 1, 3, 99};
+  ref::DeliveryRecord b = a;
+  EXPECT_TRUE(a == b);
+  b.payload0 = 98;
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(a.to_string().find("cycle=10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ocn

@@ -71,6 +71,60 @@ TEST(PriorityArb, TiesRotate) {
   for (int g : grants) EXPECT_EQ(g, 30);
 }
 
+// Starvation audit: the rotation pointer must move only past a *consumed*
+// grant. Production callers pre-filter requests by credit and stage
+// availability, so every returned winner moves a flit — but a no-winner
+// cycle (nothing eligible, e.g. a speculative VC allocation that failed
+// this cycle) must leave the pointer frozen. If it rotated, a request that
+// goes eligible/ineligible in phase with the arbitration could be skipped
+// forever.
+TEST(RoundRobin, PointerFrozenOnNoGrantCycles) {
+  RoundRobinArbiter arb(4);
+  EXPECT_EQ(arb.arbitrate({true, true, false, false}), 0);
+  EXPECT_EQ(arb.pointer(), 1);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(arb.arbitrate({false, false, false, false}), -1);
+    EXPECT_EQ(arb.pointer(), 1);  // unchanged across empty cycles
+  }
+  EXPECT_EQ(arb.arbitrate({true, true, false, false}), 1);  // resumes in turn
+}
+
+TEST(PriorityArb, PointerFrozenOnNoGrantCycles) {
+  PriorityArbiter arb(3);
+  EXPECT_EQ(arb.arbitrate({true, true, true}, {1, 1, 1}), 0);
+  EXPECT_EQ(arb.pointer(), 1);
+  EXPECT_EQ(arb.arbitrate({false, false, false}, {0, 0, 0}), -1);
+  EXPECT_EQ(arb.pointer(), 1);
+  EXPECT_EQ(arb.arbitrate({true, true, true}, {1, 1, 1}), 1);
+}
+
+// Starvation regression for the squashed-speculation pattern: input 0 is
+// only intermittently eligible (its credit returns every third cycle, as
+// when a downstream buffer drains slowly) while inputs 1 and 2 request
+// every cycle. The intermittent requester must still be granted every time
+// its turn comes up while eligible — over any sustained window it makes
+// proportional progress and is never starved.
+TEST(RoundRobin, IntermittentRequesterIsNotStarved) {
+  RoundRobinArbiter arb(3);
+  std::vector<int> grants(3, 0);
+  int waiting = 0;  // consecutive cycles input 0 requested without a grant
+  for (int cycle = 0; cycle < 300; ++cycle) {
+    const bool eligible0 = cycle % 3 == 0;
+    const int winner = arb.arbitrate({eligible0, true, true});
+    ASSERT_GE(winner, 0);
+    ++grants[static_cast<std::size_t>(winner)];
+    if (eligible0 && winner != 0) {
+      ++waiting;
+      ASSERT_LE(waiting, 3) << "input 0 starved around cycle " << cycle;
+    } else if (winner == 0) {
+      waiting = 0;
+    }
+  }
+  EXPECT_GT(grants[0], 0);
+  EXPECT_GT(grants[1], 0);
+  EXPECT_GT(grants[2], 0);
+}
+
 TEST(VcAllocator, RespectsMask) {
   VcAllocator a(8, /*enforce_parity=*/false);
   const VcId v = a.allocate(0b00001100, false);

@@ -124,6 +124,49 @@ TEST(Histogram, PercentileInOverflowBinIsInfinite) {
   EXPECT_TRUE(std::isinf(all_over.percentile(0.5)));
 }
 
+// Regression: the percentile rank was computed as ceil(fraction * count),
+// and the product can overshoot an exact integer by an ulp (0.29 * 100 ==
+// 29.000000000000004). A fraction landing exactly on a bucket boundary then
+// reported the *next* bin's upper edge — one bin too high. Table-driven
+// over boundary fractions, including after a shape-preserving merge (whose
+// summed counts hit the same boundary ranks at different totals).
+TEST(Histogram, PercentileExactBucketBoundaries) {
+  Histogram h(100, 1.0);
+  // 10 samples per bin in bins 0..9: rank r lives in bin (r - 1) / 10.
+  for (int bin = 0; bin < 10; ++bin) {
+    for (int i = 0; i < 10; ++i) h.add(bin + 0.5);
+  }
+  ASSERT_EQ(h.count(), 100);
+  struct Case {
+    double fraction;
+    double want;  // upper edge of the containing bin
+  };
+  // Every .x0 fraction is an exact boundary: rank 10k is the last sample of
+  // bin k-1, so the answer is k, not k+1.
+  const Case cases[] = {
+      {0.01, 1.0}, {0.10, 1.0}, {0.11, 2.0},  {0.20, 2.0}, {0.29, 3.0},
+      {0.30, 3.0}, {0.31, 4.0}, {0.50, 5.0},  {0.57, 6.0}, {0.60, 6.0},
+      {0.70, 7.0}, {0.90, 9.0}, {0.99, 10.0}, {1.00, 10.0},
+  };
+  for (const Case& c : cases) {
+    EXPECT_DOUBLE_EQ(h.percentile(c.fraction), c.want)
+        << "fraction " << c.fraction;
+  }
+
+  // Same boundaries after merging two shards (different per-shard totals,
+  // same merged counts — merge must not re-introduce the off-by-one).
+  Histogram a(100, 1.0), b(100, 1.0);
+  for (int bin = 0; bin < 10; ++bin) {
+    for (int i = 0; i < 10; ++i) (bin % 2 ? a : b).add(bin + 0.5);
+  }
+  a.merge(b);
+  ASSERT_EQ(a.count(), 100);
+  for (const Case& c : cases) {
+    EXPECT_DOUBLE_EQ(a.percentile(c.fraction), c.want)
+        << "merged, fraction " << c.fraction;
+  }
+}
+
 TEST(Histogram, EmptyPercentileIsZero) {
   Histogram h(10, 1.0);
   EXPECT_EQ(h.percentile(0.5), 0.0);
