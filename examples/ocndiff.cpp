@@ -8,6 +8,8 @@
 //   ocn-diff                          # quick campaign: config matrix x seeds
 //   ocn-diff --seeds 200             # longer campaign, same matrix
 //   ocn-diff --cell piggyback        # restrict the matrix to one cell
+//   ocn-diff --shards 4              # 1-shard vs 4-shard production lockstep
+//   ocn-diff --shards 4 --radix 16   # same, on 16x16 fabrics
 //   ocn-diff --replay failure.csv    # re-run a minimized divergence trace
 //   ocn-diff --replay failure.csv --kill-node 0 --kill-port row+ --kill-cycle 60
 //   ocn-diff --trace-out DIR         # write each failure's minimized trace
@@ -42,6 +44,8 @@ struct Options {
   std::string cell;       ///< restrict the matrix to cells containing this
   std::string replay;     ///< path of a divergence trace to re-run
   std::string trace_out;  ///< directory for failure traces
+  int shards = 0;         ///< >= 2: shard-determinism referee instead of ref
+  int radix = 0;          ///< > 0: override the matrix cells' radix
   // --replay scenario override (otherwise clean).
   ref::Scenario scenario;
 };
@@ -55,6 +59,10 @@ struct Options {
       "  --threads N          sweep workers (default: hardware)\n"
       "  --seed S             campaign master seed (default 42)\n"
       "  --cell NAME          only matrix cells whose name contains NAME\n"
+      "  --shards N           compare production 1-shard vs N-shard runs\n"
+      "                       (sharded-kernel determinism referee) instead\n"
+      "                       of production vs reference model\n"
+      "  --radix R            override the matrix cells' radix (e.g. 16)\n"
       "  --no-minimize        skip ddmin on failures (faster)\n"
       "  --trace-out DIR      write each failure's minimized trace CSV there\n"
       "  --replay FILE        re-run one trace CSV in lockstep instead of a\n"
@@ -95,6 +103,14 @@ Options parse(int argc, char** argv) {
       o.master_seed = std::strtoull(next(), nullptr, 10);
     } else if (a == "--cell") {
       o.cell = next();
+    } else if (a == "--shards") {
+      o.shards = std::atoi(next());
+      if (o.shards < 2) {
+        std::fprintf(stderr, "--shards needs N >= 2\n");
+        usage(argv[0]);
+      }
+    } else if (a == "--radix") {
+      o.radix = std::atoi(next());
     } else if (a == "--no-minimize") {
       o.minimize = false;
     } else if (a == "--trace-out") {
@@ -158,6 +174,9 @@ int run_campaign(const Options& o) {
       return 2;
     }
   }
+  if (o.radix > 0) {
+    for (auto& c : cells) c.config.radix = o.radix;
+  }
 
   ref::CampaignOptions co;
   co.seeds = o.seeds;
@@ -168,10 +187,21 @@ int run_campaign(const Options& o) {
   co.minimize = o.minimize;
 
   if (!o.quiet) {
-    std::printf("ocn-diff: %zu cells x %d seeds = %zu lockstep points\n",
-                cells.size(), co.seeds, cells.size() * static_cast<std::size_t>(co.seeds));
+    if (o.shards >= 2) {
+      std::printf(
+          "ocn-diff: %zu cells x %d seeds = %zu shard-lockstep points "
+          "(1 shard vs %d shards)\n",
+          cells.size(), co.seeds,
+          cells.size() * static_cast<std::size_t>(co.seeds), o.shards);
+    } else {
+      std::printf("ocn-diff: %zu cells x %d seeds = %zu lockstep points\n",
+                  cells.size(), co.seeds,
+                  cells.size() * static_cast<std::size_t>(co.seeds));
+    }
   }
-  const ref::CampaignResult result = ref::run_campaign(cells, co);
+  const ref::CampaignResult result =
+      o.shards >= 2 ? ref::run_shard_campaign(cells, co, o.shards)
+                    : ref::run_campaign(cells, co);
 
   for (std::size_t i = 0; i < result.failures.size(); ++i) {
     const ref::PointResult& f = result.failures[i];

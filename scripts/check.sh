@@ -6,7 +6,9 @@
 #                ctest -L analysis.   Matrix legs whose compiler is not
 #                installed are skipped with a note.
 #   asan         cmake --preset asan; full ctest.   (gcc or clang)
-#   tsan-sweep   cmake --preset tsan; ctest --preset tsan-sweep.
+#   tsan-sweep   cmake --preset tsan; ctest --preset tsan-sweep (includes the
+#                sharded-kernel determinism matrix) + a 16x16 shard-lockstep
+#                ocn-diff smoke under TSan.
 #   lint         cmake --build <dir> --target lint (clang-tidy; soft-fail in
 #                CI, skipped here when clang-tidy is not installed).
 #   bench-smoke  quick benches with --json, compared against bench/baselines/
@@ -15,7 +17,8 @@
 #                bench/baselines/e15_quick.json.
 #   diff-smoke   lockstep reference-model campaign (ocn-diff) over the quick
 #                config matrix (incl. link-death cells) x a small seed set,
-#                plus replay of the checked-in minimized regression trace;
+#                plus replay of the checked-in minimized regression trace,
+#                plus the same matrix refereed 1-shard vs 4-shard;
 #                fails on any divergence.
 #
 # Extras that CI runs implicitly via the test suite, kept from the original
@@ -72,6 +75,10 @@ if [[ "$FAST" == 0 ]]; then
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j"$(nproc)"
   ctest --preset tsan-sweep
+
+  echo "== [tsan-sweep] 16x16 shard-lockstep smoke under TSan =="
+  ./build-tsan/examples/ocn-diff --shards 4 --radix 16 --cell baseline \
+    --seeds 1 --trace-cycles 200 --quiet
 else
   echo "== --fast: skipping asan and tsan-sweep (CI runs them) =="
 fi
@@ -109,6 +116,7 @@ python3 scripts/bench_compare.py --run "$BENCH_OUT/e15_quick.json" \
 
 echo "== [diff-smoke] lockstep reference-model campaign =="
 "./$FIRST_BUILD/examples/ocn-diff" --seeds 10 --trace-cycles 300 --quiet
+"./$FIRST_BUILD/examples/ocn-diff" --shards 4 --seeds 10 --trace-cycles 300 --quiet
 "./$FIRST_BUILD/examples/ocn-diff" \
   --replay tests/data/lockstep_chaos_regression.trace \
   --kill-node 0 --kill-port row+ --kill-cycle 60

@@ -77,9 +77,9 @@ void Config::validate() const {
          "which contradicts the dateline parity discipline: disable "
          "router.enforce_vc_parity when using FlowControl::kDropping");
   }
-  // The longest dimension-ordered route must fit the 32-entry encoder
-  // (SourceRoute::kMaxEntries): worst case is one full traversal per
-  // dimension plus the extract entry.
+  // The longest dimension-ordered route must fit the source-route encoder
+  // (SourceRoute::kMaxEntries entries): worst case is one full traversal
+  // per dimension plus the extract entry.
   const int per_dim = wraparound ? radix / 2 : radix - 1;
   const int worst_entries = 2 * per_dim + 1;
   if (worst_entries > routing::SourceRoute::kMaxEntries) {

@@ -1,6 +1,7 @@
 #include "core/network.h"
 
 #include <cassert>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "sim/log.h"
@@ -11,23 +12,63 @@ using router::Credit;
 using router::Flit;
 using topo::Port;
 
-Network::Network(Config config)
+namespace {
+
+int resolve_shards(int shards, int radix) {
+  if (shards == 0) {
+    shards = 1;
+    if (const char* env = std::getenv("OCN_SIM_SHARDS")) {
+      const int v = std::atoi(env);
+      if (v >= 1) shards = v;
+    }
+  }
+  if (shards < 1) shards = 1;
+  if (shards > radix) shards = radix;  // row strips: at most one per row
+  return shards;
+}
+
+}  // namespace
+
+Network::Network(Config config, int shards)
     : config_(std::move(config)),
       topology_((config_.validate(), config_.make_topology())),
-      routes_(*topology_) {
+      routes_(*topology_),
+      shards_(resolve_shards(shards, config_.radix)) {
+  if (shards_ > 1) sharded_ = std::make_unique<ShardedKernel>(kernel_, shards_);
   build();
   install_register_filters();
 }
 
 void Network::build() {
   const int n = topology_->num_nodes();
+  // Component/channel placement: in sharded mode every per-node object goes
+  // to its node's shard; a channel whose endpoints straddle two shards is a
+  // boundary channel (advanced unconditionally at the barrier). Tile-port
+  // channels connect a node to itself, so they are always interior.
+  const auto add_component = [this](NodeId node, Clockable* c) {
+    if (sharded_) {
+      sharded_->add(shard_of(node), c);
+    } else {
+      kernel_.add(c);
+    }
+  };
+  const auto add_channel = [this](NodeId src, NodeId dst, ChannelBase* ch) {
+    if (!sharded_) {
+      kernel_.add(ch);
+    } else if (shard_of(src) == shard_of(dst)) {
+      sharded_->add_interior(shard_of(src), ch);
+    } else {
+      sharded_->add_boundary(shard_of(dst), ch);
+    }
+  };
+
   routers_.reserve(static_cast<std::size_t>(n));
   nics_.reserve(static_cast<std::size_t>(n));
   for (NodeId i = 0; i < n; ++i) {
     routers_.push_back(std::make_unique<router::Router>(i, *topology_, config_.router));
     nics_.push_back(std::make_unique<Nic>(i, config_, routes_));
-    kernel_.add(nics_.back().get());
-    kernel_.add(routers_.back().get());
+    add_component(i, nics_.back().get());
+    add_component(i, routers_.back().get());
   }
 
   // Inter-router links.
@@ -45,8 +86,10 @@ void Network::build() {
         .attach(link.flits.get(), link.credits.get(), desc.length_mm);
     router_at(desc.dst).input(desc.dst_in_port)
         .attach(link.flits.get(), link.credits.get());
-    kernel_.add(link.flits.get());
-    kernel_.add(link.credits.get());
+    // The credit channel flows dst -> src, but both channels have the same
+    // pair of endpoint shards, so one classification covers both.
+    add_channel(desc.src, desc.dst, link.flits.get());
+    add_channel(desc.src, desc.dst, link.credits.get());
     if (config_.fault_layer) {
       auto transform = std::make_unique<FaultyLinkTransform>(
           SteeredLink(router::kDataBits, config_.link_spare_bits));
@@ -77,12 +120,53 @@ void Network::build() {
     router_at(i).output(Port::kTile).attach(ej.flits.get(), ej.credits.get(), 0.0);
 
     nic(i).attach(inj.flits.get(), inj.credits.get(), ej.flits.get(), ej.credits.get());
-    kernel_.add(inj.flits.get());
-    kernel_.add(inj.credits.get());
-    kernel_.add(ej.flits.get());
-    kernel_.add(ej.credits.get());
+    add_channel(i, i, inj.flits.get());
+    add_channel(i, i, inj.credits.get());
+    add_channel(i, i, ej.flits.get());
+    add_channel(i, i, ej.credits.get());
     inject_links_.push_back(std::move(inj));
     eject_links_.push_back(std::move(ej));
+  }
+}
+
+void Network::step() {
+  if (!sharded_) {
+    kernel_.tick();
+    return;
+  }
+  sharded_->tick([this] { flush_observer_buffers(); });
+}
+
+void Network::flush_observer_buffers() {
+  if (delivery_observer_) {
+    for (auto& buf : delivery_buffers_) {
+      for (const Packet& p : buf) delivery_observer_(p);
+      buf.clear();
+    }
+  }
+  if (trace_recorder_ != nullptr) {
+    for (auto& buf : trace_buffers_) {
+      for (const TraceEvent& ev : buf) trace_recorder_->record(ev);
+      buf.clear();
+    }
+  }
+}
+
+void Network::set_delivery_observer(Nic::DeliveryObserver observer) {
+  if (!sharded_) {
+    for (auto& n : nics_) n->set_delivery_observer(observer);
+    return;
+  }
+  delivery_observer_ = std::move(observer);
+  if (!delivery_observer_) {
+    for (auto& n : nics_) n->set_delivery_observer(nullptr);
+    delivery_buffers_.clear();
+    return;
+  }
+  delivery_buffers_.assign(static_cast<std::size_t>(num_nodes()), {});
+  for (NodeId i = 0; i < num_nodes(); ++i) {
+    auto* buf = &delivery_buffers_[static_cast<std::size_t>(i)];
+    nic(i).set_delivery_observer([buf](const Packet& p) { buf->push_back(p); });
   }
 }
 
@@ -99,7 +183,7 @@ void Network::install_register_filters() {
       } else {
         table.clear(write->slot);
       }
-      ++register_writes_applied_;
+      register_writes_applied_.fetch_add(1, std::memory_order_relaxed);
       return true;
     });
     // Read-back: answer register queries with a response datagram.
@@ -247,6 +331,16 @@ void Network::clear_flow_registers(NodeId config_master, NodeId src, NodeId dst,
 }
 
 void Network::enable_tracing(TraceRecorder* recorder) {
+  // Sharded mode: routers fire tracers concurrently, so events land in a
+  // per-node buffer and are flushed into the recorder in node order at the
+  // end of each cycle — matching the single kernel, which steps routers in
+  // node order.
+  trace_recorder_ = sharded_ ? recorder : nullptr;
+  if (sharded_ && recorder != nullptr) {
+    trace_buffers_.assign(static_cast<std::size_t>(num_nodes()), {});
+  } else {
+    trace_buffers_.clear();
+  }
   for (NodeId n = 0; n < num_nodes(); ++n) {
     for (int p = 0; p < topo::kNumPorts; ++p) {
       const auto port = static_cast<Port>(p);
@@ -255,10 +349,18 @@ void Network::enable_tracing(TraceRecorder* recorder) {
         out.set_tracer(nullptr);
         continue;
       }
-      out.set_tracer([this, recorder, n, port](const router::Flit& f, bool bypass) {
-        recorder->record(TraceEvent{now(), n, port, f.packet, f.src, f.dst, f.vc,
-                                    f.type, f.flit_index, bypass});
-      });
+      if (sharded_) {
+        auto* buf = &trace_buffers_[static_cast<std::size_t>(n)];
+        out.set_tracer([this, buf, n, port](const router::Flit& f, bool bypass) {
+          buf->push_back(TraceEvent{now(), n, port, f.packet, f.src, f.dst,
+                                    f.vc, f.type, f.flit_index, bypass});
+        });
+      } else {
+        out.set_tracer([this, recorder, n, port](const router::Flit& f, bool bypass) {
+          recorder->record(TraceEvent{now(), n, port, f.packet, f.src, f.dst,
+                                      f.vc, f.type, f.flit_index, bypass});
+        });
+      }
     }
   }
 }

@@ -7,6 +7,7 @@
 //   // net.nic(5).received() now holds the datagram.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "router/router.h"
 #include "routing/route_computer.h"
 #include "sim/kernel.h"
+#include "sim/sharded_kernel.h"
 
 namespace ocn::core {
 
@@ -67,7 +69,14 @@ struct LinkUsage {
 
 class Network {
  public:
-  explicit Network(Config config);
+  /// `shards` partitions the fabric into that many row strips stepped
+  /// concurrently by a ShardedKernel (bit-identical to the single kernel;
+  /// see src/sim/sharded_kernel.h for the argument). 0 means "use the
+  /// OCN_SIM_SHARDS environment variable, default 1"; values are clamped
+  /// to [1, radix]. Sharding is an execution strategy, not a model
+  /// parameter: it is deliberately NOT part of Config, so fingerprints and
+  /// committed baselines are unaffected by it.
+  explicit Network(Config config, int shards = 0);
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
@@ -85,8 +94,17 @@ class Network {
   int num_nodes() const { return topology_->num_nodes(); }
 
   Cycle now() const { return kernel_.now(); }
-  void step() { kernel_.tick(); }
-  void run(Cycle cycles) { kernel_.run(cycles); }
+  void step();
+  void run(Cycle cycles) {
+    for (Cycle i = 0; i < cycles; ++i) step();
+  }
+
+  /// Number of spatial shards stepping concurrently (1 = single kernel).
+  int shards() const { return shards_; }
+  /// The shard owning node `n` (row-strip partition).
+  int shard_of(NodeId n) const {
+    return topology_->y_of(n) * shards_ / config_.radix;
+  }
 
   /// The cycle kernel; traffic sources register themselves here so they
   /// advance in lockstep with the network.
@@ -132,9 +150,11 @@ class Network {
 
   /// Install `observer` on every NIC (see Nic::set_delivery_observer); the
   /// differential harness uses this to log network-wide ejection order.
-  void set_delivery_observer(Nic::DeliveryObserver observer) {
-    for (auto& n : nics_) n->set_delivery_observer(observer);
-  }
+  /// In sharded mode deliveries are buffered per node during the parallel
+  /// phase and the observer runs on the stepping thread in node order at
+  /// the end of each cycle — the same global order the single kernel
+  /// produces (it steps NICs in node order).
+  void set_delivery_observer(Nic::DeliveryObserver observer);
 
   // --- statistics ------------------------------------------------------------
   /// Register the whole network in `registry`: aggregate gauges
@@ -150,7 +170,9 @@ class Network {
   NetworkStats stats() const;
   EnergyReport energy(const phys::PowerModel& power) const;
   std::vector<LinkUsage> link_usage() const;
-  std::int64_t register_writes_applied() const { return register_writes_applied_; }
+  std::int64_t register_writes_applied() const {
+    return register_writes_applied_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct LinkChannels {
@@ -163,6 +185,7 @@ class Network {
 
   void build();
   void install_register_filters();
+  void flush_observer_buffers();
   std::int64_t stats_packets_injected() const;
   std::int64_t stats_packets_delivered() const;
 
@@ -170,6 +193,8 @@ class Network {
   std::unique_ptr<topo::Topology> topology_;
   routing::RouteComputer routes_;
   Kernel kernel_;
+  int shards_ = 1;
+  std::unique_ptr<ShardedKernel> sharded_;  // null when shards_ == 1
 
   std::vector<std::unique_ptr<router::Router>> routers_;
   std::vector<std::unique_ptr<Nic>> nics_;
@@ -179,7 +204,16 @@ class Network {
   std::vector<LinkChannels> eject_links_;
   std::vector<std::unique_ptr<FaultyLinkTransform>> fault_transforms_;
 
-  std::int64_t register_writes_applied_ = 0;
+  // Sharded-mode observer plumbing: callbacks fired during the parallel
+  // phase land in per-node buffers, replayed in node order at end of cycle.
+  Nic::DeliveryObserver delivery_observer_;
+  TraceRecorder* trace_recorder_ = nullptr;
+  std::vector<std::vector<Packet>> delivery_buffers_;
+  std::vector<std::vector<TraceEvent>> trace_buffers_;
+
+  // Written from NIC register-write filters, which run concurrently across
+  // shards in the parallel phase.
+  std::atomic<std::int64_t> register_writes_applied_{0};
 
   // Per-flit active-bit totals for size-gated energy accounting.
   friend class EnergyProbe;

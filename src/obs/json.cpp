@@ -1,8 +1,10 @@
 #include "obs/json.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
+#include <system_error>
 
 namespace ocn::obs {
 
@@ -39,27 +41,26 @@ void append_double(std::string& out, double d) {
     out += "null";
     return;
   }
-  char buf[32];
-  // Integral values print as integers: "4000", not the "4e+03" %g would
-  // emit at low precision. Readers treat int and double numerically equal.
-  if (d == std::floor(d) && std::abs(d) < 9.0e15) {
-    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
-    out += buf;
+  // Negative zero must keep both its sign and its double-ness: the integral
+  // fast path below would print it as "0", and the shortest to_chars form
+  // "-0" would parse back as the integer 0.
+  if (d == 0.0 && std::signbit(d)) {
+    out += "-0.0";
     return;
   }
-  std::snprintf(buf, sizeof buf, "%.17g", d);
-  // Trim to the shortest representation that round-trips.
-  for (int prec = 1; prec < 17; ++prec) {
-    char probe[32];
-    std::snprintf(probe, sizeof probe, "%.*g", prec, d);
-    double back = 0.0;
-    std::sscanf(probe, "%lf", &back);
-    if (back == d) {
-      out += probe;
-      return;
-    }
+  // Integral values print as integers: "4000", not an exponent form.
+  // Readers treat int and double numerically equal.
+  if (d == std::floor(d) && std::abs(d) < 9.0e15) {
+    out += std::to_string(static_cast<long long>(d));
+    return;
   }
-  out += buf;
+  // std::to_chars emits the shortest representation that round-trips, and —
+  // unlike the snprintf("%g")/sscanf("%lf") pair this replaces — is
+  // locale-independent: under a ','-decimal locale %g prints "1,5", which
+  // any standard JSON reader then truncates to 1.
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, d);
+  out.append(buf, res.ptr);
 }
 
 class Parser {
@@ -277,11 +278,14 @@ class Parser {
         // Falls through to double below.
       }
     }
-    try {
-      return Json(std::stod(tok));
-    } catch (const std::exception&) {
+    // from_chars, not stod: stod is locale-sensitive (it would stop at the
+    // '.' under a ','-decimal locale and silently return the integer part).
+    double v = 0.0;
+    const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+    if (res.ec != std::errc() || res.ptr != tok.data() + tok.size()) {
       fail("bad number");
     }
+    return Json(v);
   }
 
   std::string_view text_;

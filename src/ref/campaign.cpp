@@ -154,4 +154,47 @@ CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
   return result;
 }
 
+CampaignResult run_shard_campaign(const std::vector<CampaignCell>& cells,
+                                  const CampaignOptions& options, int shards) {
+  sweep::SweepOptions so;
+  so.threads = options.threads;
+  so.master_seed = options.master_seed;
+  sweep::SweepRunner runner(so);
+
+  const std::size_t seeds = static_cast<std::size_t>(std::max(1, options.seeds));
+  const std::size_t n = cells.size() * seeds;
+  std::vector<PointResult> points = runner.map<PointResult>(
+      n, [&](std::size_t i, std::uint64_t seed) {
+        const CampaignCell& cell = cells[i / seeds];
+        PointResult pr;
+        pr.cell = cell.name;
+        pr.seed = seed;
+        const std::vector<traffic::TraceEntry> trace =
+            point_trace(cell.config, options.trace_cycles, seed);
+        const DiffResult r = run_shard_lockstep(cell.config, cell.scenario,
+                                                trace, shards,
+                                                options.max_cycles);
+        pr.diverged = r.diverged;
+        pr.drained = r.drained;
+        pr.cycles_run = r.cycles_run;
+        pr.deliveries = r.deliveries;
+        pr.divergence = r.divergence;
+        if (r.diverged) {
+          pr.report = divergence_report(cell.config, cell.scenario, trace, r);
+        }
+        return pr;
+      });
+
+  CampaignResult result;
+  result.points = static_cast<int>(points.size());
+  for (auto& pr : points) {
+    result.deliveries += pr.deliveries;
+    if (pr.diverged) {
+      ++result.diverged;
+      result.failures.push_back(std::move(pr));
+    }
+  }
+  return result;
+}
+
 }  // namespace ocn::ref

@@ -62,4 +62,12 @@ std::vector<CampaignCell> quick_matrix();
 CampaignResult run_campaign(const std::vector<CampaignCell>& cells,
                             const CampaignOptions& options);
 
+/// Same grid, different referee: each point runs run_shard_lockstep, so the
+/// production network at 1 shard and at `shards` shards must match
+/// bit-for-bit. Failing traces are reported replayably but not ddmin'd —
+/// a shard divergence is a kernel bug, not a traffic-dependent modelling
+/// drift, so the whole trace is the right artifact.
+CampaignResult run_shard_campaign(const std::vector<CampaignCell>& cells,
+                                  const CampaignOptions& options, int shards);
+
 }  // namespace ocn::ref

@@ -72,6 +72,18 @@ DiffResult run_lockstep(const core::Config& config, const Scenario& scenario,
                         const std::vector<traffic::TraceEntry>& trace,
                         Cycle max_cycles, const Perturbation* perturb = nullptr);
 
+/// Shard-determinism referee: run the production network twice on the same
+/// config/scenario/trace — once on the single-threaded kernel, once with
+/// `shards` spatial shards — and compare the delivery log plus the full
+/// observable state vector (the same one run_lockstep checks) after every
+/// cycle. The sharded kernel's contract is bit-identical execution, so any
+/// divergence is a bug in the shard partitioning or barrier, never
+/// tolerance. Requires shards >= 2.
+DiffResult run_shard_lockstep(const core::Config& config,
+                              const Scenario& scenario,
+                              const std::vector<traffic::TraceEntry>& trace,
+                              int shards, Cycle max_cycles);
+
 /// ddmin: the smallest subsequence of `trace` on which run_lockstep still
 /// diverges (under the same scenario/perturbation). `probes` counts the
 /// lockstep runs spent minimizing.

@@ -9,21 +9,26 @@ using topo::Port;
 void SourceRoute::push(std::uint8_t code) {
   assert(code < 4);
   assert(length_ < kMaxEntries);
-  bits_ |= static_cast<std::uint64_t>(code) << (2 * length_);
+  const int bit = 2 * length_;
+  words_[static_cast<std::size_t>(bit / 64)] |=
+      static_cast<std::uint64_t>(code) << (bit % 64);
   ++length_;
 }
 
 std::uint8_t SourceRoute::pop() {
   assert(!empty());
-  const auto code = static_cast<std::uint8_t>(bits_ & 0x3);
-  bits_ >>= 2;
+  const auto code = static_cast<std::uint8_t>(words_[0] & 0x3);
+  for (std::size_t w = 0; w + 1 < words_.size(); ++w) {
+    words_[w] = (words_[w] >> 2) | (words_[w + 1] << 62);
+  }
+  words_.back() >>= 2;
   --length_;
   return code;
 }
 
 std::uint8_t SourceRoute::front() const {
   assert(!empty());
-  return static_cast<std::uint8_t>(bits_ & 0x3);
+  return static_cast<std::uint8_t>(words_[0] & 0x3);
 }
 
 Port apply_turn(Port heading, TurnCode turn) {

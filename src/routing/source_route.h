@@ -11,11 +11,13 @@
 //    (row+/row-/col+/col-). Self-delivery never enters the network: the NIC
 //    short-circuits it locally.
 //
-// The class stores up to 32 two-bit entries; `bits_required()` lets the
-// configuration check that routes fit the 16-bit field of the paper's
-// example network.
+// The class stores up to 128 two-bit entries (enough for dimension-ordered
+// routes on a radix-64 mesh, whose worst case is 2*(radix-1)+1 = 127
+// entries); `bits_required()` lets the configuration check that routes fit
+// the 16-bit field of the paper's example network.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 
@@ -33,7 +35,7 @@ enum class TurnCode : std::uint8_t {
 
 class SourceRoute {
  public:
-  static constexpr int kMaxEntries = 32;
+  static constexpr int kMaxEntries = 128;
   /// The paper's route field width.
   static constexpr int kPaperRouteBits = 16;
 
@@ -51,13 +53,16 @@ class SourceRoute {
   int bits_required() const { return 2 * length_; }
   bool fits_paper_field() const { return bits_required() <= kPaperRouteBits; }
 
-  /// Raw field as it would appear on the wire (low bits consumed first).
-  std::uint64_t raw() const { return bits_; }
+  /// Low 64 bits of the field as it would appear on the wire (low bits
+  /// consumed first). Routes short enough for the paper's 16-bit field fit
+  /// entirely in this word.
+  std::uint64_t raw() const { return words_[0]; }
 
   friend bool operator==(const SourceRoute&, const SourceRoute&) = default;
 
  private:
-  std::uint64_t bits_ = 0;
+  static constexpr int kWords = (2 * kMaxEntries + 63) / 64;
+  std::array<std::uint64_t, kWords> words_{};
   int length_ = 0;
 };
 

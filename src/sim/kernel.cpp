@@ -5,18 +5,28 @@
 namespace ocn {
 
 void Kernel::remove(Clockable* c) {
+  if (in_tick_) {
+    // A component may detach itself (or a peer) from inside step(); erasing
+    // here would invalidate the iteration in step_components(). Defer to
+    // finish_tick(), after the loop is done with the vector.
+    deferred_removals_.push_back(c);
+    return;
+  }
   components_.erase(std::remove(components_.begin(), components_.end(), c),
                     components_.end());
 }
 
-void Kernel::tick() {
+int Kernel::step_components() {
   int stepped = 0;
   for (Clockable* c : components_) {
     if (c->quiescent()) continue;
     c->step(now_);
     ++stepped;
   }
-  last_tick_stepped_ = stepped;
+  return stepped;
+}
+
+int Kernel::advance_channels() {
   int advanced = 0;
   for (ChannelBase* ch : channels_) {
     if (ch->active()) {
@@ -24,6 +34,11 @@ void Kernel::tick() {
       ++advanced;
     }
   }
+  return advanced;
+}
+
+void Kernel::finish_tick(int stepped, int advanced) {
+  last_tick_stepped_ = stepped;
   ++now_;
   if (metrics_) {
     cycles_counter_->inc();
@@ -33,6 +48,18 @@ void Kernel::tick() {
       interval_snapshots_.push_back(metrics_->snapshot(now_));
     }
   }
+  in_tick_ = false;
+  if (!deferred_removals_.empty()) {
+    for (Clockable* c : deferred_removals_) remove(c);
+    deferred_removals_.clear();
+  }
+}
+
+void Kernel::tick() {
+  in_tick_ = true;
+  const int stepped = step_components();
+  const int advanced = advance_channels();
+  finish_tick(stepped, advanced);
 }
 
 void Kernel::attach_metrics(obs::CounterRegistry* registry, Cycle sample_interval) {

@@ -15,6 +15,7 @@
 // which makes warmup/drain phases and lightly loaded regions cheap.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstdio>
 #include <cstddef>
@@ -45,22 +46,29 @@ class Clockable {
 
 /// Non-virtual channel base so the kernel can advance heterogeneous channels
 /// through one direct function-pointer call, and skip idle ones entirely.
+///
+/// `active_` is a relaxed atomic because a shard-boundary channel is written
+/// by the sender's shard (send) while the receiver's shard reads/clears the
+/// arriving value (take) in the same phase. There is never more than one
+/// writer per phase, so plain relaxed loads/stores suffice; the sharded
+/// kernel never *consults* a boundary channel's flag (it advances boundary
+/// channels unconditionally), so a transiently stale value is harmless.
 class ChannelBase {
  public:
   void advance() { advance_fn_(this); }
   /// True when the channel has (or may have) values in flight; idle channels
   /// are skipped by Kernel::tick.
-  bool active() const { return active_; }
+  bool active() const { return active_.load(std::memory_order_relaxed); }
 
  protected:
   using AdvanceFn = void (*)(ChannelBase*);
   explicit ChannelBase(AdvanceFn fn) : advance_fn_(fn) {}
   ~ChannelBase() = default;  // never deleted through the base
-  void set_active(bool a) { active_ = a; }
+  void set_active(bool a) { active_.store(a, std::memory_order_relaxed); }
 
  private:
   AdvanceFn advance_fn_;
-  bool active_ = false;
+  std::atomic<bool> active_{false};
 };
 
 /// Unidirectional delay line carrying at most one value per cycle.
@@ -83,9 +91,13 @@ class Channel final : public ChannelBase {
   const std::optional<T>& receive() const { return out_; }
 
   /// Consume the arriving value (clears it so a second reader sees nothing).
+  /// Also recomputes the active flag: once the output is taken the channel
+  /// only has work left if values are still in flight, so the kernel must
+  /// not burn an advance on a provably empty channel next tick.
   std::optional<T> take() {
     std::optional<T> v = std::move(out_);
     out_.reset();
+    set_active(inflight_.load(std::memory_order_relaxed) > 0);
     return v;
   }
 
@@ -98,7 +110,8 @@ class Channel final : public ChannelBase {
       std::terminate();
     }
     pending_ = std::move(v);
-    ++inflight_;
+    inflight_.store(inflight_.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
     ++sends_;
     set_active(true);
   }
@@ -120,8 +133,9 @@ class Channel final : public ChannelBase {
     const bool arriving = self->pending_.has_value();
     self->out_.swap(self->pending_);
     self->pending_.reset();
-    if (arriving) --self->inflight_;
-    self->set_active(self->inflight_ > 0 || self->out_.has_value());
+    if (arriving) self->dec_inflight();
+    self->set_active(self->inflight_.load(std::memory_order_relaxed) > 0 ||
+                     self->out_.has_value());
   }
 
   static void advance_pipe(ChannelBase* base) {
@@ -131,15 +145,21 @@ class Channel final : public ChannelBase {
     self->pipe_.pop_front();
     self->pipe_.push_back(std::move(self->pending_));
     self->pending_.reset();
-    if (arriving) --self->inflight_;
-    self->set_active(self->inflight_ > 0 || self->out_.has_value());
+    if (arriving) self->dec_inflight();
+    self->set_active(self->inflight_.load(std::memory_order_relaxed) > 0 ||
+                     self->out_.has_value());
+  }
+
+  void dec_inflight() {
+    inflight_.store(inflight_.load(std::memory_order_relaxed) - 1,
+                    std::memory_order_relaxed);
   }
 
   std::string name_;
   std::deque<std::optional<T>> pipe_;  // latency-1 in-flight slots
   std::optional<T> pending_;           // written this cycle
   std::optional<T> out_;               // visible this cycle
-  int inflight_ = 0;                   // engaged values in pipe_ + pending_
+  std::atomic<int> inflight_{0};       // engaged values in pipe_ + pending_
   std::int64_t sends_ = 0;
 };
 
@@ -153,7 +173,9 @@ class Kernel {
 
   /// Unregister a component (used by detachable observers like the protocol
   /// monitor, whose lifetime is shorter than the network's). No-op when the
-  /// component was never registered.
+  /// component was never registered. Safe to call from inside a component's
+  /// own step(): removal during an in-flight tick is deferred to the end of
+  /// that tick so the component list is never mutated while iterated.
   void remove(Clockable* c);
 
   /// Run `cycles` cycles from the current time.
@@ -190,10 +212,23 @@ class Kernel {
   }
 
  private:
+  friend class ShardedKernel;
+
+  // tick() pieces, shared with ShardedKernel: the sharded kernel steps and
+  // advances its own spatial partitions in parallel, then calls these to
+  // step/advance whatever stayed registered here (global components like
+  // traffic harnesses and monitors) and to close out the cycle with the
+  // same bookkeeping — time, metrics counters, deferred removals.
+  int step_components();
+  int advance_channels();
+  void finish_tick(int stepped, int advanced);
+
   std::vector<Clockable*> components_;
   std::vector<ChannelBase*> channels_;
   Cycle now_ = 0;
   int last_tick_stepped_ = 0;
+  bool in_tick_ = false;
+  std::vector<Clockable*> deferred_removals_;
 
   obs::CounterRegistry* metrics_ = nullptr;
   Cycle metrics_interval_ = 0;

@@ -1,0 +1,72 @@
+#include "sim/sharded_kernel.h"
+
+#include <cassert>
+
+namespace ocn {
+
+ShardedKernel::ShardedKernel(Kernel& global, int shards)
+    : global_(global),
+      pool_(shards < 1 ? 1 : shards),
+      shards_(static_cast<std::size_t>(shards < 1 ? 1 : shards)) {}
+
+void ShardedKernel::add(int shard, Clockable* c) {
+  shards_.at(static_cast<std::size_t>(shard)).components.push_back(c);
+}
+
+void ShardedKernel::add_interior(int shard, ChannelBase* ch) {
+  shards_.at(static_cast<std::size_t>(shard)).interior.push_back(ch);
+}
+
+void ShardedKernel::add_boundary(int shard, ChannelBase* ch) {
+  shards_.at(static_cast<std::size_t>(shard)).boundary.push_back(ch);
+}
+
+void ShardedKernel::tick(const std::function<void()>& before_finish) {
+  global_.in_tick_ = true;
+  const Cycle now = global_.now_;
+
+  // Phase A: shard components in parallel, then global components serially
+  // (they were registered after the per-node components in the single
+  // kernel, so they step after them here too).
+  pool_.for_each_index(shards_.size(), [&](std::size_t s) {
+    Shard& sh = shards_[s];
+    int stepped = 0;
+    for (Clockable* c : sh.components) {
+      if (c->quiescent()) continue;
+      c->step(now);
+      ++stepped;
+    }
+    sh.stepped = stepped;
+  });
+  int stepped = global_.step_components();
+
+  // Barrier happened inside for_each_index: phase-A writes are visible.
+
+  // Phase B: advance channels. Interior channels keep the active-flag skip;
+  // boundary channels advance unconditionally (see header).
+  pool_.for_each_index(shards_.size(), [&](std::size_t s) {
+    Shard& sh = shards_[s];
+    int advanced = 0;
+    for (ChannelBase* ch : sh.interior) {
+      if (ch->active()) {
+        ch->advance();
+        ++advanced;
+      }
+    }
+    for (ChannelBase* ch : sh.boundary) {
+      ch->advance();
+      ++advanced;
+    }
+    sh.advanced = advanced;
+  });
+  int advanced = global_.advance_channels();
+
+  for (const Shard& sh : shards_) {
+    stepped += sh.stepped;
+    advanced += sh.advanced;
+  }
+  if (before_finish) before_finish();
+  global_.finish_tick(stepped, advanced);
+}
+
+}  // namespace ocn

@@ -1,0 +1,84 @@
+// Sharded multi-threaded cycle kernel.
+//
+// Partitions a network's components and channels into spatial shards that
+// step concurrently on a worker pool, synchronizing only at shard-boundary
+// channels. The correctness argument is the kernel's own determinism
+// argument, applied across threads: every Channel has latency >= 1 (the
+// Kernel asserts it), so a value sent during cycle t is not visible before
+// cycle t+1 — one full cycle of conservative slack. A barriered two-phase
+// tick therefore preserves single-kernel semantics verbatim:
+//
+//   phase A  all shards step their components in parallel; components only
+//            read channel outputs (stable this phase) and write channel
+//            inputs (not visible until after phase B), so shards cannot
+//            observe each other mid-phase. Global components (traffic
+//            harnesses, monitors, services) then step serially, exactly
+//            where they sit in the single kernel's registration order.
+//   barrier  the pool's scatter-gather join: every phase-A write
+//            happens-before every phase-B read.
+//   phase B  all shards advance their channels in parallel; interior
+//            channels (both endpoints in the shard) keep the active-flag
+//            fast path, boundary channels are advanced unconditionally
+//            because their flag may be written by two shards in phase A
+//            (relaxed atomics make that benign, but the transient value is
+//            unordered — so it is never consulted, and advance() recomputes
+//            it deterministically).
+//
+// Because no step() ever observes another shard's same-cycle writes, the
+// component interleaving across threads is irrelevant and an N-shard run is
+// bit-identical to a 1-shard run — the src/ref lockstep harness holds this
+// kernel to that standard.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/kernel.h"
+#include "sim/sweep/thread_pool.h"
+
+namespace ocn {
+
+class ShardedKernel {
+ public:
+  /// `global` keeps owning simulation time, metrics, and every component
+  /// that is not assigned to a shard; it must outlive this object. Spawns
+  /// one worker per shard so the partitions genuinely step concurrently
+  /// (machines with fewer cores just timeslice — determinism does not
+  /// depend on the interleaving).
+  ShardedKernel(Kernel& global, int shards);
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Assign a component to a shard. Components left in the global kernel
+  /// step serially after the parallel phase.
+  void add(int shard, Clockable* c);
+
+  /// A channel whose sender and receiver both live in `shard`.
+  void add_interior(int shard, ChannelBase* ch);
+
+  /// A channel crossing shards; advanced unconditionally at the barrier by
+  /// the given shard's worker (which shard is arbitrary — phase B starts
+  /// only after every phase-A write has landed).
+  void add_boundary(int shard, ChannelBase* ch);
+
+  /// Advance one cycle. `before_finish`, when set, runs on the calling
+  /// thread after both phases but before time advances — core::Network uses
+  /// it to flush per-node observer buffers in canonical order while now()
+  /// still names the cycle the buffered events happened in.
+  void tick(const std::function<void()>& before_finish = {});
+
+ private:
+  struct Shard {
+    std::vector<Clockable*> components;
+    std::vector<ChannelBase*> interior;
+    std::vector<ChannelBase*> boundary;
+    int stepped = 0;
+    int advanced = 0;
+  };
+
+  Kernel& global_;
+  sweep::ThreadPool pool_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace ocn

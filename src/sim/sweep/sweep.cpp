@@ -17,7 +17,7 @@ std::vector<LoadResult> SweepRunner::run(const std::vector<LoadPoint>& points) {
     traffic::HarnessOptions opt = points[i].harness;
     cfg.seed = seed;
     opt.seed = seed;
-    core::Network net(cfg);
+    core::Network net(cfg, points[i].shards);
     // Worker-local registry: registered once per point, bulk-sampled at the
     // end of the run; snapshots merge on the calling thread in index order.
     obs::CounterRegistry registry;

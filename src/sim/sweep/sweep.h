@@ -1,10 +1,12 @@
 // Parallel experiment-sweep engine.
 //
 // A sweep is a list of independent simulation points (Config + harness
-// options). Each point runs a whole single-threaded simulation on a pool
-// worker with its own derived Rng seed, and the per-point statistics merge
-// on the calling thread, in point-index order, through the order-sensitive
-// Accumulator::merge / order-free Histogram::merge machinery.
+// options). Each point runs a whole simulation on a pool worker with its
+// own derived Rng seed (optionally sharded internally across the point's
+// own ShardedKernel pool — see LoadPoint::shards), and the per-point
+// statistics merge on the calling thread, in point-index order, through the
+// order-sensitive Accumulator::merge / order-free Histogram::merge
+// machinery.
 //
 // Determinism contract:
 //   * point i always simulates with seed derive_seed(master_seed, i),
@@ -42,6 +44,13 @@ struct SweepOptions {
 struct LoadPoint {
   core::Config config;
   traffic::HarnessOptions harness;
+  /// Spatial shards for the point's Network (see core::Network): 1 = the
+  /// single-threaded kernel, N > 1 = intra-point parallelism on the
+  /// point's own ShardedKernel pool (distinct from the sweep pool, so
+  /// nesting is safe). 0 = OCN_SIM_SHARDS env, default 1. Sharding does
+  /// not change results — the merged statistics stay bit-identical — only
+  /// wall-clock.
+  int shards = 0;
 };
 
 /// Everything a point's measurement window produced, in mergeable form.

@@ -1,6 +1,7 @@
 #include "sim/sweep/thread_pool.h"
 
 #include <cstdlib>
+#include <stdexcept>
 
 namespace ocn::sweep {
 
@@ -35,6 +36,16 @@ void ThreadPool::for_each_index(std::size_t n,
   if (n == 0) return;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (in_flight_) {
+      // A second range while one is running means either two external
+      // callers racing or — worse — a body on this pool re-entering it,
+      // which would deadlock: the nested call waits on a worker slot held
+      // by its own caller. Fail loudly instead of hanging.
+      throw std::logic_error(
+          "ThreadPool::for_each_index is not reentrant: a range is already "
+          "in flight on this pool");
+    }
+    in_flight_ = true;
     body_ = &body;
     total_ = n;
     next_ = 0;
@@ -45,6 +56,7 @@ void ThreadPool::for_each_index(std::size_t n,
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return remaining_ == 0; });
   body_ = nullptr;
+  in_flight_ = false;
   if (first_error_) std::rethrow_exception(first_error_);
 }
 

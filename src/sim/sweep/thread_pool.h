@@ -42,7 +42,9 @@ class ThreadPool {
   /// Run body(i) for each i in [0, n); blocks until every iteration has
   /// finished. If any iteration throws, remaining unclaimed indices are
   /// abandoned and the first exception is rethrown here. Not reentrant:
-  /// one range at a time (callers serialize naturally).
+  /// one range at a time, and never from inside a body running on this
+  /// pool (that would deadlock waiting for a worker that is the caller).
+  /// Violations throw std::logic_error instead of hanging.
   void for_each_index(std::size_t n, const std::function<void(std::size_t)>& body);
 
  private:
@@ -57,6 +59,7 @@ class ThreadPool {
   std::size_t remaining_ = 0;  // claimed-or-unclaimed indices not yet done
   std::exception_ptr first_error_;
   bool stop_ = false;
+  bool in_flight_ = false;  // a range is being executed (reentrancy guard)
   std::vector<std::thread> workers_;
 };
 

@@ -8,6 +8,7 @@ LoadHarness::LoadHarness(core::Network& net, const HarnessOptions& options)
       pattern_(options.pattern, net.topology(), options.hotspot_fraction,
                options.hotspot_node) {
   const int n = net.num_nodes();
+  sample_buffers_.resize(static_cast<std::size_t>(n));
   for (NodeId i = 0; i < n; ++i) {
     rngs_.emplace_back(opt_.seed, static_cast<std::uint64_t>(i));
     if (opt_.bursty) {
@@ -18,8 +19,9 @@ LoadHarness::LoadHarness(core::Network& net, const HarnessOptions& options)
     } else {
       processes_.push_back(InjectionProcess::bernoulli(opt_.injection_rate));
     }
+    std::vector<DeliverySample>* buffer = &sample_buffers_[static_cast<std::size_t>(i)];
     net_.nic(i).set_delivery_handler(
-        [this](core::Packet&& p) { on_delivery(std::move(p)); });
+        [this, buffer](core::Packet&& p) { on_delivery(std::move(p), *buffer); });
   }
   net_.kernel().add(this);
 }
@@ -34,6 +36,10 @@ LoadHarness::~LoadHarness() {
 }
 
 void LoadHarness::step(Cycle now) {
+  // Fold this cycle's delivery samples first, in node order — deliveries
+  // happened during the (possibly parallel) component phase earlier this
+  // cycle, and the shard barrier makes the buffers visible here.
+  if (pending_samples_.load(std::memory_order_relaxed) > 0) drain_samples();
   if (!generating_) return;
   for (NodeId i = 0; i < net_.num_nodes(); ++i) {
     auto& rng = rngs_[static_cast<std::size_t>(i)];
@@ -55,19 +61,43 @@ void LoadHarness::step(Cycle now) {
   }
 }
 
-void LoadHarness::on_delivery(core::Packet&& p) {
+void LoadHarness::on_delivery(core::Packet&& p,
+                              std::vector<DeliverySample>& buffer) {
   const Cycle now = net_.now();
+  DeliverySample s;
   if (now >= measure_begin_ && now < measure_end_) {
-    delivered_in_window_flits_ += p.num_flits();
+    s.window_flits = p.num_flits();
   }
   if (p.created >= measure_begin_ && p.created < measure_end_) {
-    ++delivered_measured_;
-    latency_.add(static_cast<double>(p.latency()));
-    network_latency_.add(static_cast<double>(p.network_latency()));
-    hops_.add(static_cast<double>(p.hops));
-    link_mm_.add(p.link_mm);
-    latency_hist_.add(static_cast<double>(p.latency()));
+    s.measured = true;
+    s.latency = static_cast<double>(p.latency());
+    s.network_latency = static_cast<double>(p.network_latency());
+    s.hops = static_cast<double>(p.hops);
+    s.link_mm = p.link_mm;
   }
+  if (s.window_flits == 0 && !s.measured) return;
+  buffer.push_back(s);
+  pending_samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LoadHarness::drain_samples() {
+  std::int64_t drained = 0;
+  for (auto& buffer : sample_buffers_) {
+    for (const DeliverySample& s : buffer) {
+      delivered_in_window_flits_ += s.window_flits;
+      if (s.measured) {
+        ++delivered_measured_;
+        latency_.add(s.latency);
+        network_latency_.add(s.network_latency);
+        hops_.add(s.hops);
+        link_mm_.add(s.link_mm);
+        latency_hist_.add(s.latency);
+      }
+    }
+    drained += static_cast<std::int64_t>(buffer.size());
+    buffer.clear();
+  }
+  pending_samples_.fetch_sub(drained, std::memory_order_relaxed);
 }
 
 HarnessResult LoadHarness::run() {
@@ -80,6 +110,9 @@ HarnessResult LoadHarness::run() {
   net_.run(opt_.measure);
   generating_ = false;
   const bool drained = net_.drain(opt_.drain_max);
+  // Normally empty by now (pending samples keep the harness off the
+  // quiescent list), but a drain that hit drain_max can leave stragglers.
+  drain_samples();
 
   HarnessResult r;
   r.offered_flits = opt_.injection_rate * opt_.packet_flits;

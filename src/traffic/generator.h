@@ -4,6 +4,7 @@
 // measurement window, and reports latency / throughput / energy.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -67,12 +68,17 @@ class LoadHarness final : public Clockable {
 
   void step(Cycle now) override;
   /// Outside warmup+measurement the harness injects nothing; let the
-  /// kernel's active-set fast path skip it during drain.
-  bool quiescent() const override { return !generating_; }
+  /// kernel's active-set fast path skip it during drain — unless delivery
+  /// samples are waiting to be folded in (measured packets keep arriving
+  /// after the window closes).
+  bool quiescent() const override {
+    return !generating_ &&
+           pending_samples_.load(std::memory_order_relaxed) == 0;
+  }
 
   /// Measurement-window statistics, exposed for tests and for the sweep
   /// engine, which merges them across points via Accumulator::merge /
-  /// Histogram::merge.
+  /// Histogram::merge. Valid after run().
   const Accumulator& measured_latency() const { return latency_; }
   const Accumulator& measured_network_latency() const { return network_latency_; }
   const Accumulator& measured_hops() const { return hops_; }
@@ -80,13 +86,36 @@ class LoadHarness final : public Clockable {
   const Histogram& latency_histogram() const { return latency_hist_; }
 
  private:
-  void on_delivery(core::Packet&& p);
+  /// One delivery's contribution to the window statistics, computed inside
+  /// the NIC's delivery handler (possibly on a shard worker thread) and
+  /// buffered per node. The harness — a global component, stepped serially
+  /// after the parallel shard phase — drains the buffers in node order every
+  /// cycle, which is exactly the order deliveries accumulate in on a
+  /// single-threaded kernel (cycle-major, node order within a cycle). The
+  /// folded statistics are therefore bit-identical for every shard count,
+  /// floating-point moments included; nothing is reassociated.
+  struct DeliverySample {
+    std::int64_t window_flits = 0;  ///< flits delivered inside the window
+    bool measured = false;          ///< packet created inside the window
+    double latency = 0.0;
+    double network_latency = 0.0;
+    double hops = 0.0;
+    double link_mm = 0.0;
+  };
+
+  void on_delivery(core::Packet&& p, std::vector<DeliverySample>& buffer);
+  void drain_samples();
 
   core::Network& net_;
   HarnessOptions opt_;
   TrafficPattern pattern_;
   std::vector<InjectionProcess> processes_;
   std::vector<Rng> rngs_;
+  // Per-node sample buffers: each is written by exactly one shard's worker
+  // (its own NIC's delivery handler), so the parallel phase never shares a
+  // buffer between threads. Sized once; handlers keep pointers in.
+  std::vector<std::vector<DeliverySample>> sample_buffers_;
+  std::atomic<std::int64_t> pending_samples_{0};
 
   bool generating_ = false;
   Cycle measure_begin_ = 0;

@@ -4,6 +4,8 @@
 // shape the engine's determinism contract depends on — run under the
 // `sweep` ctest label so the TSan preset covers it), the Report builder's
 // schema, and a golden-file check that pins the serialized byte shape.
+#include <clocale>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -77,6 +79,42 @@ TEST(Json, RoundTripsDoublesExactly) {
     obs::Json j(v);
     EXPECT_EQ(obs::Json::parse(j.dump()).as_number(), v);
   }
+}
+
+// Regression: "%g" printed -0.0 as "0", which parses back as the integer 0 —
+// sign and doubleness both lost (and == can't catch it: -0.0 == 0.0).
+TEST(Json, NegativeZeroKeepsItsSign) {
+  EXPECT_EQ(obs::Json(-0.0).dump(), "-0.0");
+  const obs::Json back = obs::Json::parse("-0.0");
+  EXPECT_TRUE(std::signbit(back.as_number()));
+}
+
+// Regression: the writer used snprintf("%g") and the parser strtod-family
+// conversions, both of which honour LC_NUMERIC — under a comma-decimal
+// locale reports serialized "1,5" and refused to parse their own output.
+// Both paths now use std::to_chars/std::from_chars, which are locale-free.
+// Containers often install only the C locale; skip rather than vacuously
+// pass when no comma-decimal locale exists to provoke the bug.
+TEST(Json, NumberFormattingIsLocaleIndependent) {
+  const char* previous = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string saved = previous ? previous : "C";
+  const char* chosen = nullptr;
+  for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8",
+                           "fr_FR.utf8", "nl_NL.UTF-8"}) {
+    if (std::setlocale(LC_NUMERIC, name)) {
+      chosen = name;
+      break;
+    }
+  }
+  if (!chosen) GTEST_SKIP() << "no comma-decimal locale installed";
+  ASSERT_EQ(std::string(localeconv()->decimal_point), ",") << chosen;
+
+  const std::string dumped = obs::Json(1.5).dump();
+  const double parsed = obs::Json::parse("2.5").as_number();
+  std::setlocale(LC_NUMERIC, saved.c_str());
+
+  EXPECT_EQ(dumped, "1.5");
+  EXPECT_EQ(parsed, 2.5);
 }
 
 // ---------------------------------------------------------------------------

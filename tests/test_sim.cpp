@@ -287,6 +287,44 @@ TEST(Channel, UnconsumedValueExpiresAndDeactivates) {
   EXPECT_FALSE(ch.active());
 }
 
+// Regression: take() used to leave the active flag set until the next
+// advance(), so consuming the last value still cost one wasted advance.
+TEST(Channel, TakeOnLastValueDeactivatesImmediately) {
+  Channel<int> ch(1);
+  ch.send(9);
+  ch.advance();
+  EXPECT_EQ(ch.take().value(), 9);
+  EXPECT_FALSE(ch.active());  // nothing left in flight, no advance needed
+}
+
+TEST(Channel, TakeWithValuesStillInFlightStaysActive) {
+  Channel<int> ch(2);
+  ch.send(1);
+  ch.advance();
+  ch.send(2);
+  ch.advance();
+  EXPECT_EQ(ch.take().value(), 1);
+  EXPECT_TRUE(ch.active());  // the second value is still in the pipe
+  ch.advance();
+  EXPECT_EQ(ch.take().value(), 2);
+  EXPECT_FALSE(ch.active());
+}
+
+TEST(Kernel, TakenEmptyChannelIsSkippedNextTick) {
+  Kernel k;
+  Channel<int> ch(1);
+  k.add(&ch);
+  obs::CounterRegistry reg;
+  k.attach_metrics(&reg);
+  obs::Counter& advances = reg.counter("kernel.channel_advances");
+  ch.send(3);
+  k.tick();
+  EXPECT_EQ(advances.value(), 1);
+  EXPECT_EQ(ch.take().value(), 3);
+  k.tick();  // channel is provably empty: the kernel must not advance it
+  EXPECT_EQ(advances.value(), 1);
+}
+
 TEST(Kernel, SkipsInactiveChannels) {
   Kernel k;
   Channel<int> busy(1), idle(1);
@@ -344,6 +382,48 @@ TEST(Kernel, SkipsQuiescentComponents) {
   k.run(5);
   EXPECT_EQ(s.steps, 15);  // back on the clock
   EXPECT_EQ(k.last_tick_stepped(), 2);
+}
+
+// A monitor-style component that unregisters a target (possibly itself)
+// from inside step(). Removal must be deferred to the end of the tick so
+// the component list is never mutated mid-iteration.
+struct Detacher final : Clockable {
+  Kernel* kernel = nullptr;
+  Clockable* target = nullptr;
+  Cycle when = 0;
+  void step(Cycle now) override {
+    if (now == when) kernel->remove(target);
+  }
+};
+
+TEST(Kernel, RemoveFromInsideStepIsDeferredToEndOfTick) {
+  Kernel k;
+  Detacher d;
+  Counter monitor;
+  d.kernel = &k;
+  d.target = &monitor;
+  d.when = 2;
+  k.add(&d);
+  k.add(&monitor);  // after the detacher: iterated right after remove() fires
+  k.run(5);
+  // The monitor still ran on the cycle it was detached (cycles 0,1,2), then
+  // never again.
+  EXPECT_EQ(monitor.steps, 3);
+  EXPECT_EQ(k.now(), 5);
+}
+
+TEST(Kernel, ComponentMayRemoveItselfDuringStep) {
+  Kernel k;
+  Detacher d;
+  d.kernel = &k;
+  d.target = &d;
+  d.when = 1;
+  Counter after;
+  k.add(&d);
+  k.add(&after);
+  k.run(4);
+  EXPECT_EQ(after.steps, 4);  // later components unaffected by the removal
+  EXPECT_EQ(k.last_tick_stepped(), 1);  // only `after` remains on the clock
 }
 
 TEST(DutyCounter, ComputesAverageDuty) {

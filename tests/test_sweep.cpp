@@ -50,6 +50,25 @@ TEST(ThreadPool, PropagatesFirstExceptionAndStaysUsable) {
   EXPECT_EQ(count.load(), 16);
 }
 
+// for_each_index is scatter-gather over one shared range; a nested call
+// (from a worker callback or from another thread) would corrupt the range
+// bookkeeping and deadlock the gather. The pool refuses loudly instead of
+// hanging. Nested parallelism wants two pools — exactly how the sharded
+// kernel composes with the sweep engine.
+TEST(ThreadPool, NestedForEachIndexThrowsInsteadOfDeadlocking) {
+  sweep::ThreadPool pool(2);
+  EXPECT_THROW(pool.for_each_index(
+                   4,
+                   [&](std::size_t) {
+                     pool.for_each_index(1, [](std::size_t) {});
+                   }),
+               std::logic_error);
+  // The guard clears with the failed range: the pool stays usable.
+  std::atomic<int> count{0};
+  pool.for_each_index(8, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
 TEST(ThreadPool, SingleThreadFloor) {
   sweep::ThreadPool pool(0);
   EXPECT_EQ(pool.size(), 1);

@@ -361,12 +361,12 @@ TEST(ConfigValidate, RejectsRoutesWiderThanTheEncoder) {
   Config c = Config::paper_baseline();
   c.topology = TopologyKind::kMesh;
   c.router.enforce_vc_parity = false;
-  c.radix = 16;  // worst route: 2*15+1 = 31 entries, still fits 32
+  c.radix = 64;  // worst route: 2*63+1 = 127 entries, still fits 128
   EXPECT_NO_THROW(c.validate());
-  c.radix = 17;  // 33 entries
+  c.radix = 65;  // 129 entries
   try {
     c.validate();
-    FAIL() << "radix-17 mesh must be rejected";
+    FAIL() << "radix-65 mesh must be rejected";
   } catch (const std::invalid_argument& e) {
     EXPECT_NE(std::string(e.what()).find("route entries"), std::string::npos)
         << e.what();
