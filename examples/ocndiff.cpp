@@ -218,9 +218,19 @@ int run_campaign(const Options& o) {
       std::printf("--- minimized trace ---\n%s---\n", f.report.c_str());
     }
   }
+  for (const std::string& note : result.analyzer_notes) {
+    std::printf("ANALYZER MISMATCH: %s\n", note.c_str());
+  }
   std::printf("ocn-diff: %d points, %lld deliveries compared, %d divergence%s\n",
               result.points, static_cast<long long>(result.deliveries),
               result.diverged, result.diverged == 1 ? "" : "s");
+  if (result.analyzer_cells > 0 && !o.quiet) {
+    std::printf(
+        "ocn-diff: static analyzer cross-validated on %d cells, "
+        "%d mismatch%s\n",
+        result.analyzer_cells, result.analyzer_mismatches,
+        result.analyzer_mismatches == 1 ? "" : "es");
+  }
   return result.ok() ? 0 : 1;
 }
 

@@ -6,11 +6,17 @@
 #                ctest -L analysis.   Matrix legs whose compiler is not
 #                installed are skipped with a note.
 #   asan         cmake --preset asan; full ctest.   (gcc or clang)
+#   ubsan        cmake --preset ubsan; full ctest (UBSan alone, no ASan
+#                interposition).
 #   tsan-sweep   cmake --preset tsan; ctest --preset tsan-sweep (includes the
-#                sharded-kernel determinism matrix) + a 16x16 shard-lockstep
-#                ocn-diff smoke under TSan.
+#                sharded-kernel determinism matrix) + shard-lockstep ocn-diff
+#                smokes at shards {2,4} — 16x16 clean and 4x4 chaos
+#                kill_link — under TSan with tsan.supp (kept empty).
 #   lint         cmake --build <dir> --target lint (clang-tidy; soft-fail in
 #                CI, skipped here when clang-tidy is not installed).
+#   analyze-smoke  scripts/lint_determinism.py (hard fail) + ocn-analyze over
+#                the quick config matrix at shards {1,2,4} with the radix
+#                sweep, plus the --break corruptions which must be refused.
 #   bench-smoke  quick benches with --json, compared against bench/baselines/
 #                by scripts/bench_compare.py (e13 numeric, m1 schema-only).
 #   chaos-smoke  quick fault-injection campaign (bench_e15_chaos) vs
@@ -71,16 +77,26 @@ if [[ "$FAST" == 0 ]]; then
   cmake --build --preset asan -j"$(nproc)"
   ctest --preset asan
 
+  echo "== [ubsan] UndefinedBehaviorSanitizer alone =="
+  cmake --preset ubsan >/dev/null
+  cmake --build --preset ubsan -j"$(nproc)"
+  ctest --preset ubsan
+
   echo "== [tsan-sweep] ThreadSanitizer, sweep-labelled tests =="
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j"$(nproc)"
+  export TSAN_OPTIONS="suppressions=$PWD/tsan.supp"
   ctest --preset tsan-sweep
 
-  echo "== [tsan-sweep] 16x16 shard-lockstep smoke under TSan =="
-  ./build-tsan/examples/ocn-diff --shards 4 --radix 16 --cell baseline \
-    --seeds 1 --trace-cycles 200 --quiet
+  echo "== [tsan-sweep] shard-lockstep smokes under TSan =="
+  for shards in 2 4; do
+    ./build-tsan/examples/ocn-diff --shards "$shards" --radix 16 \
+      --cell baseline --seeds 1 --trace-cycles 200 --quiet
+    ./build-tsan/examples/ocn-diff --shards "$shards" \
+      --cell chaos-baseline --seeds 1 --trace-cycles 200 --quiet
+  done
 else
-  echo "== --fast: skipping asan and tsan-sweep (CI runs them) =="
+  echo "== --fast: skipping asan, ubsan and tsan-sweep (CI runs them) =="
 fi
 
 if have clang-tidy; then
@@ -88,6 +104,26 @@ if have clang-tidy; then
   cmake --build "$FIRST_BUILD" --target lint
 else
   echo "== [lint] clang-tidy not installed; skipping (CI soft-fails it) =="
+fi
+
+echo "== [analyze-smoke] determinism lint =="
+python3 scripts/lint_determinism.py
+
+echo "== [analyze-smoke] concurrency-safety analyzer over the config matrix =="
+cmake --build "$FIRST_BUILD" --target ocn-analyze >/dev/null
+"./$FIRST_BUILD/examples/ocn-analyze" --matrix --quick --quiet
+"./$FIRST_BUILD/examples/ocn-analyze" --matrix --quiet
+
+echo "== [analyze-smoke] broken partitions must be refused =="
+for kind in zero-latency-cross global-mutator gated-boundary; do
+  if "./$FIRST_BUILD/examples/ocn-analyze" --shards 2 --break "$kind" --quiet; then
+    echo "expected the analyzer to refuse --break $kind" >&2
+    exit 1
+  fi
+done
+if "./$FIRST_BUILD/examples/ocn-analyze" --shards 2 --link-latency 0 --quiet; then
+  echo "expected the analyzer to refuse link latency 0" >&2
+  exit 1
 fi
 
 echo "== ocn-verify: paper baseline must prove deadlock freedom =="

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Nondeterminism lint for the simulation core.
+
+The repo's determinism contract (bit-identical runs for any shard count,
+replayable seeds, byte-stable reports) is easy to break with one innocuous
+line: iterate an unordered container, key a map by pointer, read the wall
+clock, call rand(). The static analyzer (src/analyze) proves the *sharding*
+side of the contract; this lint closes the single-threaded side by banning
+the constructs whose order or value depends on the process, not the seed.
+
+Scanned directories: src/sim, src/router, src/core — the layers a tick
+executes. Higher layers (benches, CLIs) may legitimately time things.
+
+Patterns:
+  unordered-container  std::unordered_{map,set,...}: iteration order is
+                       unspecified and varies with hash seeding and pointer
+                       values. Lookup-only uses are fine — allowlist them.
+  pointer-key          std::{map,set}<T*>: ordered by address, i.e. by the
+                       allocator's mood. Iteration order differs run to run.
+  libc-rand            rand()/srand(): hidden global state, not seedable per
+                       run point. Use sim/rng.h (SplitMix64) instead.
+  random-device        std::random_device: entropy by definition.
+  wall-clock           time(nullptr) / chrono clocks: cycle counts are the
+                       only clock the simulation may observe.
+
+Exceptions live in scripts/determinism_allowlist.txt as
+`path-suffix:pattern-name  # why it is safe`; every entry must still match
+something, so stale exceptions fail the lint too.
+
+Exit status: 0 clean, 1 findings or stale allowlist entries, 2 usage error.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+SCAN_DIRS = ["src/sim", "src/router", "src/core"]
+EXTENSIONS = {".h", ".cpp"}
+
+PATTERNS = {
+    "unordered-container": re.compile(
+        r"\bstd::unordered_(?:map|set|multimap|multiset)\b"
+    ),
+    "pointer-key": re.compile(
+        r"\bstd::(?:map|set|multimap|multiset)<[^<>]*\*"
+    ),
+    "libc-rand": re.compile(r"\b(?:std::)?s?rand\s*\("),
+    "random-device": re.compile(r"\bstd::random_device\b"),
+    "wall-clock": re.compile(
+        r"\b(?:std::)?time\s*\(\s*(?:nullptr|NULL|0)\s*\)"
+        r"|\bstd::chrono::(?:system|steady|high_resolution)_clock\b"
+    ),
+}
+
+LINE_COMMENT = re.compile(r"//.*$")
+STRING_LITERAL = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+def strip_noise(line: str, in_block_comment: bool) -> tuple[str, bool]:
+    """Blank out string literals and comments so they can't match."""
+    out = []
+    i = 0
+    while i < len(line):
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            in_block_comment = False
+            continue
+        start = line.find("/*", i)
+        rest = line[i:] if start < 0 else line[i:start]
+        rest = LINE_COMMENT.sub("", rest)
+        rest = STRING_LITERAL.sub('""', rest)
+        out.append(rest)
+        if start < 0:
+            return "".join(out), False
+        if "//" in line[i:start]:
+            return "".join(out), False
+        i = start + 2
+        in_block_comment = True
+    return "".join(out), in_block_comment
+
+
+def load_allowlist(root: Path) -> list[tuple[str, str, int]]:
+    """(path-suffix, pattern-name, line-number-in-allowlist) triples."""
+    path = root / "scripts" / "determinism_allowlist.txt"
+    entries = []
+    if not path.exists():
+        return entries
+    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if ":" not in line:
+            print(f"determinism_allowlist.txt:{lineno}: expected "
+                  f"'path-suffix:pattern-name', got '{line}'", file=sys.stderr)
+            sys.exit(2)
+        suffix, name = line.rsplit(":", 1)
+        if name not in PATTERNS:
+            print(f"determinism_allowlist.txt:{lineno}: unknown pattern "
+                  f"'{name}' (known: {', '.join(sorted(PATTERNS))})",
+                  file=sys.stderr)
+            sys.exit(2)
+        entries.append((suffix, name, lineno))
+    return entries
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    allowlist = load_allowlist(root)
+    allow_used = [False] * len(allowlist)
+
+    findings = []
+    for scan in SCAN_DIRS:
+        base = root / scan
+        if not base.is_dir():
+            print(f"lint_determinism: missing directory {scan}",
+                  file=sys.stderr)
+            return 2
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in EXTENSIONS:
+                continue
+            rel = path.relative_to(root).as_posix()
+            in_block = False
+            for lineno, line in enumerate(
+                    path.read_text(errors="replace").splitlines(), 1):
+                code, in_block = strip_noise(line, in_block)
+                for name, rx in PATTERNS.items():
+                    if not rx.search(code):
+                        continue
+                    allowed = False
+                    for i, (suffix, aname, _) in enumerate(allowlist):
+                        if aname == name and rel.endswith(suffix):
+                            allow_used[i] = True
+                            allowed = True
+                    if not allowed:
+                        findings.append(
+                            f"{rel}:{lineno}: [{name}] {line.strip()}")
+
+    for finding in findings:
+        print(finding)
+    stale = [f"determinism_allowlist.txt:{lineno}: stale entry "
+             f"'{suffix}:{name}' matches nothing"
+             for (suffix, name, lineno), used in zip(allowlist, allow_used)
+             if not used]
+    for s in stale:
+        print(s)
+    if findings or stale:
+        print(f"lint_determinism: {len(findings)} finding(s), "
+              f"{len(stale)} stale allowlist entr(y/ies)")
+        return 1
+    print(f"lint_determinism: clean ({', '.join(SCAN_DIRS)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,121 @@
+// Static concurrency-safety analyzer over the access-footprint graph.
+//
+// Given a footprint model (footprint.h) of one sharded tick, the analyzer
+// emits three machine-checkable verdicts:
+//
+//   (a) race-freedom — every cross-shard producer/consumer edge crosses the
+//       phase barrier with >= 1 cycle of delay-line slack; zero-latency
+//       couplings and globally mutated plain state are confined to the
+//       serial phases. A failed proof reports the offending component pair
+//       as a readable witness path (the concurrency analogue of
+//       Cdg::describe_cycle):
+//
+//         router.1 (shard 0) --write[parallel step]--> chan.link:1:col+
+//         [latency 0, boundary] --read[parallel step]--> router.5 (shard 1)
+//         : 0 barrier crossings between write and read; >= 1 required
+//
+//   (b) determinism obligations — the claims bit-identical N-shard
+//       execution rests on (observer/tracer flush order, arbiter pointer
+//       ownership, stats folding) are each discharged with a proof tag:
+//       shard-local, serial-phase, ordered-flush, barrier-slack, or
+//       atomic-commutative. An obligation no rule discharges is refuted
+//       with the failing state as witness.
+//
+//   (c) partition quality — per-shard static work estimates, boundary cut
+//       size, and the balance ratio, feeding future partitioners beyond
+//       row strips.
+//
+// The report serializes to the ocn-analyze/v1 JSON schema (golden-pinned in
+// tests/data/); verify::VerifiedNetwork runs analyze_config before building
+// any sharded network, so an unproven partition fails fast — and the
+// ocn-diff shard campaign cross-validates the verdicts against dynamic
+// truth in both directions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/footprint.h"
+#include "obs/json.h"
+#include "verify/verifier.h"
+
+namespace ocn::analyze {
+
+inline constexpr const char* kAnalyzeSchema = "ocn-analyze/v1";
+
+/// Proof tags the analyzer can discharge an obligation's state with.
+enum class Proof {
+  kShardLocal,         ///< touched by exactly one shard's workers
+  kSerialPhase,        ///< touched only on the calling thread
+  kOrderedFlush,       ///< parallel per-owner writes, serial ordered drain
+  kBarrierSlack,       ///< channel crossing shards with latency >= 1
+  kAtomicCommutative,  ///< racing commutative updates, serially read
+  kReadShared,         ///< concurrently read, never written in parallel
+  kRefuted,
+};
+
+const char* proof_name(Proof p);
+
+struct Obligation {
+  std::string name;
+  std::string claim;
+  /// Distinct proof tags that discharged the obligation's states, joined
+  /// with " + " ("shard-local + ordered-flush"); "refuted" when violated.
+  std::string proof;
+  bool proven = false;
+  std::vector<std::string> witness;  ///< failing states (capped)
+};
+
+struct ShardQuality {
+  int shard = 0;
+  int components = 0;  ///< routers + NICs stepped by this shard
+  double work = 0.0;   ///< static per-tick work estimate
+};
+
+struct AnalysisReport {
+  /// Error findings refute the safety proof; reuses the verifier's
+  /// severity/code/message shape so tooling handles both.
+  std::vector<verify::Finding> findings;
+  /// Findings beyond kMaxFindings are counted here, not stored.
+  int suppressed_findings = 0;
+
+  bool race_free = false;
+  bool deterministic = false;
+  std::vector<Obligation> obligations;
+
+  // --- partition quality -----------------------------------------------------
+  std::vector<ShardQuality> shard_quality;
+  int cut_channels = 0;   ///< channel states whose endpoints straddle shards
+  double balance = 1.0;   ///< max shard work / mean shard work
+
+  // --- graph size ------------------------------------------------------------
+  int components = 0;
+  int states = 0;
+  int accesses = 0;
+  std::int64_t edges = 0;  ///< writer->reader pairs over all states
+
+  std::string partition;  ///< ShardPartition::describe()
+  int shards = 1;
+
+  /// The proof succeeded: no error finding (warnings allowed).
+  bool ok() const;
+  std::string to_string() const;
+
+  static constexpr int kMaxFindings = 32;
+  static constexpr int kMaxWitness = 4;
+};
+
+/// Analyze an explicit footprint model.
+AnalysisReport analyze(const FootprintModel& model);
+
+/// Convenience: build the row-strip footprint of `config` at `shards` and
+/// analyze it — the exact partition core::Network(config, shards) executes.
+/// Never throws on bad configs (they are analyzed, not validated).
+AnalysisReport analyze_config(const core::Config& config, int shards);
+
+/// One run object of the ocn-analyze/v1 schema ("cell" names the run in
+/// multi-run documents; fingerprint binds it to the analyzed config).
+obs::Json report_json(const AnalysisReport& report, const core::Config& config,
+                      const std::string& cell);
+
+}  // namespace ocn::analyze

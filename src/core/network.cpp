@@ -1,7 +1,6 @@
 #include "core/network.h"
 
 #include <cassert>
-#include <cstdlib>
 #include <stdexcept>
 
 #include "sim/log.h"
@@ -12,28 +11,14 @@ using router::Credit;
 using router::Flit;
 using topo::Port;
 
-namespace {
-
-int resolve_shards(int shards, int radix) {
-  if (shards == 0) {
-    shards = 1;
-    if (const char* env = std::getenv("OCN_SIM_SHARDS")) {
-      const int v = std::atoi(env);
-      if (v >= 1) shards = v;
-    }
-  }
-  if (shards < 1) shards = 1;
-  if (shards > radix) shards = radix;  // row strips: at most one per row
-  return shards;
-}
-
-}  // namespace
-
 Network::Network(Config config, int shards)
     : config_(std::move(config)),
       topology_((config_.validate(), config_.make_topology())),
       routes_(*topology_),
-      shards_(resolve_shards(shards, config_.radix)) {
+      shards_(resolve_shards(shards, config_.radix)),
+      partition_(shards_ > 1
+                     ? ShardPartition::row_strips(*topology_, shards_)
+                     : ShardPartition::single(topology_->num_nodes())) {
   if (shards_ > 1) sharded_ = std::make_unique<ShardedKernel>(kernel_, shards_);
   build();
   install_register_filters();

@@ -16,6 +16,7 @@
 #include "core/fault.h"
 #include "core/nic.h"
 #include "core/registers.h"
+#include "core/shard_partition.h"
 #include "core/trace.h"
 #include "phys/power_model.h"
 #include "router/router.h"
@@ -101,10 +102,11 @@ class Network {
 
   /// Number of spatial shards stepping concurrently (1 = single kernel).
   int shards() const { return shards_; }
-  /// The shard owning node `n` (row-strip partition).
-  int shard_of(NodeId n) const {
-    return topology_->y_of(n) * shards_ / config_.radix;
-  }
+  /// The explicit node -> shard assignment the kernel executes — the same
+  /// description the static concurrency analyzer (src/analyze) proves safe.
+  const ShardPartition& partition() const { return partition_; }
+  /// The shard owning node `n`.
+  int shard_of(NodeId n) const { return partition_.shard_of(n); }
 
   /// The cycle kernel; traffic sources register themselves here so they
   /// advance in lockstep with the network.
@@ -194,6 +196,7 @@ class Network {
   routing::RouteComputer routes_;
   Kernel kernel_;
   int shards_ = 1;
+  ShardPartition partition_;
   std::unique_ptr<ShardedKernel> sharded_;  // null when shards_ == 1
 
   std::vector<std::unique_ptr<router::Router>> routers_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analyze/analyzer.h"
 #include "sim/sweep/sweep.h"
 #include "traffic/replay.h"
 
@@ -187,11 +188,40 @@ CampaignResult run_shard_campaign(const std::vector<CampaignCell>& cells,
 
   CampaignResult result;
   result.points = static_cast<int>(points.size());
-  for (auto& pr : points) {
+  std::vector<bool> cell_diverged(cells.size(), false);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    PointResult& pr = points[i];
     result.deliveries += pr.deliveries;
     if (pr.diverged) {
       ++result.diverged;
+      cell_diverged[i / seeds] = true;
       result.failures.push_back(std::move(pr));
+    }
+  }
+
+  if (options.analyze) {
+    // Cross-validate the static analyzer against the dynamic truth this
+    // campaign just established, in both directions: a partition it proves
+    // safe must not diverge, and one it refuses must not silently pass (the
+    // refusal would block VerifiedNetwork for no dynamic reason).
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const analyze::AnalysisReport ar =
+          analyze::analyze_config(cells[c].config, shards);
+      ++result.analyzer_cells;
+      const bool static_ok = ar.ok();
+      const bool dynamic_ok = !cell_diverged[c];
+      if (static_ok == dynamic_ok) continue;
+      ++result.analyzer_mismatches;
+      std::string note = "cell " + cells[c].name + " at " +
+                         std::to_string(shards) + " shards: ";
+      if (static_ok) {
+        note += "analyzer PROVED the partition safe but lockstep diverged "
+                "(unsound proof)";
+      } else {
+        note += "analyzer REFUSED the partition but every lockstep point "
+                "agreed (spurious refusal):\n" + ar.to_string();
+      }
+      result.analyzer_notes.push_back(std::move(note));
     }
   }
   return result;

@@ -21,6 +21,11 @@ struct CampaignOptions {
   int threads = 0;                 ///< <=0: sweep default
   std::uint64_t master_seed = 42;
   bool minimize = true;            ///< ddmin failing traces (slower)
+  /// Shard campaigns only: cross-validate the static concurrency-safety
+  /// analyzer (analyze::analyze_config) against the dynamic verdict of every
+  /// cell. A cell the analyzer refuses but whose points all agree — or one
+  /// it proves safe while a point diverges — is an analyzer_mismatch.
+  bool analyze = true;
 };
 
 /// One (config, scenario) cell of the campaign grid.
@@ -47,7 +52,15 @@ struct CampaignResult {
   int diverged = 0;
   std::int64_t deliveries = 0;
   std::vector<PointResult> failures;  ///< only the diverged points
-  bool ok() const { return diverged == 0; }
+
+  /// Static-vs-dynamic cross-validation (shard campaigns with
+  /// CampaignOptions::analyze): cells where the analyzer's verdict
+  /// contradicts the lockstep truth, one explanatory line each.
+  int analyzer_cells = 0;  ///< cells the analyzer was run on
+  int analyzer_mismatches = 0;
+  std::vector<std::string> analyzer_notes;
+
+  bool ok() const { return diverged == 0 && analyzer_mismatches == 0; }
 };
 
 /// The quick config matrix (every router feature the reference model

@@ -6,6 +6,8 @@
 namespace ocn::sweep {
 
 int default_threads() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv at pool
+  // construction time, never on a worker thread.
   if (const char* env = std::getenv("OCN_SWEEP_THREADS")) {
     const int v = std::atoi(env);
     if (v >= 1) return v;

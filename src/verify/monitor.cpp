@@ -200,32 +200,61 @@ void RuntimeMonitor::step(Cycle now) {
         ++credit_checks_;
         const int c = out.credits(v);
         if (c < 0 || c > depth) {
-          violation("n" + std::to_string(n) + " " + topo::port_name(port) +
-                    " vc" + std::to_string(v) + ": credit count " +
-                    std::to_string(c) + " outside [0," +
-                    std::to_string(depth) + "]");
+          std::string msg = "n";
+          msg += std::to_string(n);
+          msg += " ";
+          msg += topo::port_name(port);
+          msg += " vc";
+          msg += std::to_string(v);
+          msg += ": credit count ";
+          msg += std::to_string(c);
+          msg += " outside [0,";
+          msg += std::to_string(depth);
+          msg += "]";
+          violation(std::move(msg));
         } else if (!dropping_ && downstream != nullptr &&
                    c + downstream->vc(v).size() > depth) {
           // Credits count free downstream slots (less those still in
           // flight), so credits + occupancy can never exceed the depth.
-          violation("n" + std::to_string(n) + " " + topo::port_name(port) +
-                    " vc" + std::to_string(v) + ": " + std::to_string(c) +
-                    " credits + " + std::to_string(downstream->vc(v).size()) +
-                    " buffered flits exceed buffer depth " +
-                    std::to_string(depth));
+          std::string msg = "n";
+          msg += std::to_string(n);
+          msg += " ";
+          msg += topo::port_name(port);
+          msg += " vc";
+          msg += std::to_string(v);
+          msg += ": ";
+          msg += std::to_string(c);
+          msg += " credits + ";
+          msg += std::to_string(downstream->vc(v).size());
+          msg += " buffered flits exceed buffer depth ";
+          msg += std::to_string(depth);
+          violation(std::move(msg));
         }
       }
     }
   }
 }
 
-VerifiedNetwork::VerifiedNetwork(const core::Config& config)
+VerifiedNetwork::VerifiedNetwork(const core::Config& config, int shards)
     : report_(verify(config)) {
   if (!report_.ok()) {
     throw std::invalid_argument(
         "VerifiedNetwork: static verification failed:\n" + report_.to_string());
   }
-  net_ = std::make_unique<core::Network>(config);
+  const int resolved = core::resolve_shards(shards, config.radix);
+  if (resolved > 1) {
+    // The sharded kernel's safety argument must be a theorem about this
+    // partition, not folklore: prove it before the first tick.
+    partition_analysis_ = std::make_unique<analyze::AnalysisReport>(
+        analyze::analyze_config(config, resolved));
+    if (!partition_analysis_->ok()) {
+      throw std::invalid_argument(
+          "VerifiedNetwork: concurrency-safety analysis refused the shard "
+          "partition:\n" +
+          partition_analysis_->to_string());
+    }
+  }
+  net_ = std::make_unique<core::Network>(config, resolved);
   monitor_ = std::make_unique<RuntimeMonitor>(*net_);
 }
 

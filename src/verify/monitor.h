@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analyze/analyzer.h"
 #include "core/network.h"
 #include "verify/cdg.h"
 #include "verify/verifier.h"
@@ -84,10 +85,19 @@ class RuntimeMonitor final : public Clockable {
 class VerifiedNetwork {
  public:
   /// Throws std::invalid_argument carrying Report::to_string() when the
-  /// static proof fails.
-  explicit VerifiedNetwork(const core::Config& config);
+  /// static proof fails. `shards` follows core::Network's convention
+  /// (0 = OCN_SIM_SHARDS env, clamped to [1, radix]); when the resolved
+  /// count is > 1 the concurrency-safety analyzer (src/analyze) must
+  /// additionally prove the row-strip partition race-free and
+  /// determinism-preserving, so a sharded network is never constructed
+  /// over an unproven partition.
+  explicit VerifiedNetwork(const core::Config& config, int shards = 0);
 
   const Report& report() const { return report_; }
+  /// The concurrency-safety verdict; null when the network is unsharded.
+  const analyze::AnalysisReport* partition_analysis() const {
+    return partition_analysis_.get();
+  }
   core::Network& network() { return *net_; }
   const core::Network& network() const { return *net_; }
   RuntimeMonitor& monitor() { return *monitor_; }
@@ -95,6 +105,7 @@ class VerifiedNetwork {
 
  private:
   Report report_;
+  std::unique_ptr<analyze::AnalysisReport> partition_analysis_;
   std::unique_ptr<core::Network> net_;
   std::unique_ptr<RuntimeMonitor> monitor_;  // declared after net_: detaches first
 };
