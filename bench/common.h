@@ -96,6 +96,14 @@ class BenchReporter {
     report_.add_metric(name, value);
   }
 
+  /// Record a wall-clock throughput scalar (e.g. Mflit/s) under
+  /// "perf_metrics". First-class: key presence is schema-checked and CI can
+  /// enforce a floor with bench_compare.py --min-metric, but values are
+  /// never diffed against a baseline (machine-dependent by contract).
+  void perf_metric(const std::string& name, double value) {
+    report_.add_perf_metric(name, value);
+  }
+
   void note(const std::string& key, std::string value) {
     report_.add_note(key, std::move(value));
   }

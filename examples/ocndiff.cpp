@@ -23,6 +23,7 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "ref/campaign.h"
@@ -67,7 +68,10 @@ struct Options {
       "  --trace-out DIR      write each failure's minimized trace CSV there\n"
       "  --replay FILE        re-run one trace CSV in lockstep instead of a\n"
       "                       campaign (paper-baseline config; add chaos with\n"
-      "                       --kill-node N --kill-port P --kill-cycle C)\n"
+      "                       --kill-node N --kill-port P --kill-cycle C).\n"
+      "                       A '# shards: N' header (or --shards) replays as\n"
+      "                       the 1-vs-N shard referee; a shard count above\n"
+      "                       the radix clamp is refused, never clamped\n"
       "  --kill-node N --kill-port row+|row-|col+|col- --kill-cycle C\n"
       "  --quiet              summary line only\n",
       argv0);
@@ -145,19 +149,47 @@ int run_replay(const Options& o) {
 
   core::Config config = core::Config::paper_baseline();
   if (o.scenario.active()) config.fault_layer = true;
+
+  // Shard-determinism replays: a "# shards: N" header (written by the shard
+  // campaigns' divergence reports) or an explicit --shards flag. A request
+  // the row-strip partition cannot honor exactly is an error — silently
+  // clamping would replay under a different partitioning than the one that
+  // produced the trace.
+  int shards = o.shards;
+  try {
+    const int header = traffic::trace_header_shards(buf.str());
+    if (header >= 1 && o.shards == 0) shards = header;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s: %s\n", o.replay.c_str(), e.what());
+    return 2;
+  }
+  if (shards >= 1) {
+    const std::string err = ref::replay_shards_error(shards, config.radix);
+    if (!err.empty()) {
+      std::fprintf(stderr, "%s: %s\n", o.replay.c_str(), err.c_str());
+      return 2;
+    }
+  }
+
   const ref::DiffResult r =
-      ref::run_lockstep(config, o.scenario, trace, o.max_cycles);
+      shards >= 2
+          ? ref::run_shard_lockstep(config, o.scenario, trace, shards,
+                                    o.max_cycles)
+          : ref::run_lockstep(config, o.scenario, trace, o.max_cycles);
+  const std::string mode =
+      shards >= 2 ? "1 shard vs " + std::to_string(shards) + " shards"
+                  : "production vs reference";
   if (r.diverged) {
-    std::printf("DIVERGED replaying %s (%s)\n%s\n", o.replay.c_str(),
-                o.scenario.to_string().c_str(),
+    std::printf("DIVERGED replaying %s (%s, %s)\n%s\n", o.replay.c_str(),
+                mode.c_str(), o.scenario.to_string().c_str(),
                 r.divergence.to_string().c_str());
     return 1;
   }
   std::printf(
-      "ok: %s agrees over %lld cycles (%lld deliveries, %s, drained=%d)\n",
+      "ok: %s agrees over %lld cycles (%lld deliveries, %s, %s, drained=%d)\n",
       o.replay.c_str(), static_cast<long long>(r.cycles_run),
-      static_cast<long long>(r.deliveries), o.scenario.to_string().c_str(),
-      r.drained ? 1 : 0);
+      static_cast<long long>(r.deliveries), mode.c_str(),
+      o.scenario.to_string().c_str(), r.drained ? 1 : 0);
   return 0;
 }
 

@@ -15,8 +15,17 @@ What is compared
     tolerance band (relative error; absolute for near-zero baselines);
   * verdicts that were ok in the baseline must still be ok in the run
     (paper-claim regressions fail even when the raw numbers drift slowly);
+  * every "perf_metrics" key in the baseline must exist in the run (key
+    presence only — the values are wall-clock throughput numbers and are
+    machine-dependent by contract);
   * "timing" and "notes" are never compared: wall-clock numbers are
     machine-dependent by contract (see bench/common.h).
+
+--min-metric NAME=VALUE (repeatable) additionally enforces a hard floor on a
+perf metric (falling back to "metrics" when NAME is not in "perf_metrics"):
+the run fails when its value is below VALUE. This is how the Mflit/s router
+hot-path gate is wired: the floor is chosen conservatively against the
+machine class CI runs on (see EXPERIMENTS.md S2).
 
 --schema-only skips the numeric comparison and only checks that every
 baseline metric key is present — the mode for microbenchmark reports whose
@@ -63,6 +72,41 @@ def parse_tolerance_overrides(pairs):
     return out
 
 
+def parse_min_metrics(pairs):
+    out = {}
+    for p in pairs:
+        name, _, value = p.rpartition("=")
+        if not name:
+            print(f"bench_compare: --min-metric needs NAME=VALUE, got {p!r}",
+                  file=sys.stderr)
+            sys.exit(2)
+        try:
+            out[name] = float(value)
+        except ValueError:
+            print(f"bench_compare: bad floor in {p!r}", file=sys.stderr)
+            sys.exit(2)
+    return out
+
+
+def check_min_metrics(run, floors):
+    """Enforce hard floors on (perf) metrics; returns problem strings."""
+    problems = []
+    perf = run.get("perf_metrics", {})
+    metrics = run.get("metrics", {})
+    for name, floor in floors.items():
+        if name in perf:
+            got = perf[name]
+        elif name in metrics:
+            got = metrics[name]
+        else:
+            problems.append(f"--min-metric {name}: metric missing from run")
+            continue
+        if got < floor:
+            problems.append(
+                f"perf metric {name}: run {got:.6g} below floor {floor:.6g}")
+    return problems
+
+
 def compare(run, baseline, tolerance, overrides, schema_only):
     """Return a list of human-readable regression strings."""
     problems = []
@@ -97,6 +141,12 @@ def compare(run, baseline, tolerance, overrides, schema_only):
                 f"metric {name}: baseline {expect:.6g}, run {got:.6g} "
                 f"({rel:+.1f}%, tolerance {tol * 100:.1f}%)")
 
+    # perf_metrics: key presence is part of the schema; values are
+    # wall-clock dependent and never diffed (floors go through --min-metric).
+    for name in baseline.get("perf_metrics", {}):
+        if name not in run.get("perf_metrics", {}):
+            problems.append(f"perf metric missing from run: {name}")
+
     b_verdicts = {v["metric"]: v for v in baseline.get("verdicts", [])}
     r_verdicts = {v["metric"]: v for v in run.get("verdicts", [])}
     for name, v in b_verdicts.items():
@@ -124,13 +174,19 @@ def main():
     ap.add_argument("--schema-only", action="store_true",
                     help="check metric key presence, not values "
                          "(wall-clock-dependent reports)")
+    ap.add_argument("--min-metric", action="append", default=[],
+                    metavar="NAME=VALUE",
+                    help="hard floor on a run (perf) metric (repeatable); "
+                         "fails when the run value is below VALUE")
     args = ap.parse_args()
 
     run = load(args.run)
     baseline = load(args.baseline)
     overrides = parse_tolerance_overrides(args.tolerance_for)
+    floors = parse_min_metrics(args.min_metric)
     problems = compare(run, baseline, args.tolerance, overrides,
                        args.schema_only)
+    problems += check_min_metrics(run, floors)
 
     exp = baseline.get("experiment", {}).get("id", "?")
     mode = "schema-only" if args.schema_only else f"tolerance {args.tolerance * 100:.1f}%"

@@ -18,7 +18,10 @@
 #                the quick config matrix at shards {1,2,4} with the radix
 #                sweep, plus the --break corruptions which must be refused.
 #   bench-smoke  quick benches with --json, compared against bench/baselines/
-#                by scripts/bench_compare.py (e13 numeric, m1 schema-only).
+#                by scripts/bench_compare.py (e13 numeric, m1 schema-only
+#                plus the saturation-cell Mflit/s floor).
+#   soa-smoke    SoA <-> object-layer equivalence suite (tests/test_soa) +
+#                ocn-analyze --matrix.
 #   chaos-smoke  quick fault-injection campaign (bench_e15_chaos) vs
 #                bench/baselines/e15_quick.json.
 #   diff-smoke   lockstep reference-model campaign (ocn-diff) over the quick
@@ -143,7 +146,13 @@ mkdir -p "$BENCH_OUT"
 python3 scripts/bench_compare.py --run "$BENCH_OUT/e13_quick.json" \
   --baseline bench/baselines/e13_quick.json --tolerance 0.05
 python3 scripts/bench_compare.py --run "$BENCH_OUT/m1_micro.json" \
-  --baseline bench/baselines/m1_micro.json --schema-only
+  --baseline bench/baselines/m1_micro.json --schema-only \
+  --min-metric mflits_per_sec.saturation64=0.001
+
+echo "== [soa-smoke] SoA <-> object-layer equivalence suite + analyzer matrix =="
+cmake --build "$FIRST_BUILD" --target test_soa >/dev/null
+"./$FIRST_BUILD/tests/test_soa"
+"./$FIRST_BUILD/examples/ocn-analyze" --matrix --quick --quiet
 
 echo "== [chaos-smoke] quick fault-injection campaign vs committed baseline =="
 "./$FIRST_BUILD/bench/bench_e15_chaos" --quick --json "$BENCH_OUT/e15_quick.json" >/dev/null

@@ -186,10 +186,19 @@ struct Analysis {
           note_shard(u.par_shards, m.executor_shard(a));
           break;
         case Phase::kAdvance:
-          // Advances are writes, but every state has exactly one advancing
-          // shard and phase B is barrier-separated from phase A — the
-          // advance itself cannot conflict. The cross-shard questions it
+          // Channel advances are writes, but every channel has exactly one
+          // advancing shard and phase B is barrier-separated from phase A —
+          // the advance itself cannot conflict. The cross-shard questions it
           // raises (flag gating, slack) are part of channel classification.
+          // A phase-B write to a NON-channel state is an arrival-byte stamp
+          // (ChannelBase::notify_wake): fold it into the shard-locality
+          // check as if it were a parallel-phase write, so a channel filed
+          // under the wrong shard shows up as shard-crossing mutable state
+          // on the receiver's wake byte instead of passing silently.
+          if (!m.states[static_cast<std::size_t>(a.state)].channel) {
+            u.par_writes.push_back(static_cast<int>(i));
+            note_shard(u.par_shards, m.executor_shard(a));
+          }
           break;
         case Phase::kSerialStep:
         case Phase::kSerialFlush:

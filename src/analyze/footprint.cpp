@@ -42,7 +42,13 @@ void FootprintModel::access(int component, int state, Phase phase, AccessKind ki
 }
 
 int FootprintModel::executor_shard(const Access& a) const {
-  if (a.phase == Phase::kAdvance) {
+  // A channel's advance runs on its own advancing shard. An arrival-byte
+  // stamp (kAdvance write to a non-channel state) runs on whatever shard's
+  // advancer issued it — the component's shard — which is how a mis-filed
+  // channel is caught: its stamp lands on a wake byte owned by another
+  // shard.
+  if (a.phase == Phase::kAdvance &&
+      states[static_cast<std::size_t>(a.state)].channel) {
     return states[static_cast<std::size_t>(a.state)].advance_shard;
   }
   return components[static_cast<std::size_t>(a.component)].shard;
@@ -114,19 +120,36 @@ FootprintModel build_footprint(const core::Config& config,
   const int flusher = m.add_component("observer-flush", kSerialShard, 0.0);
 
   // --- per-node internal state ---------------------------------------------
+  // router.N.pool is the node's RouterStatePool slot: the SoA rows holding
+  // every per-VC field (buffer counts, routing decisions, credits, allocator
+  // flags, pipeline stage, per-cycle transients) that the object layer views
+  // into. One state suffices because the whole slot has one owner — the
+  // router component on the node's shard.
   std::vector<int> arb_state(static_cast<std::size_t>(n));
   std::vector<int> router_state(static_cast<std::size_t>(n));
   std::vector<int> nic_state(static_cast<std::size_t>(n));
+  std::vector<int> router_wake(static_cast<std::size_t>(n));
+  std::vector<int> nic_wake(static_cast<std::size_t>(n));
   std::vector<int> delivery_buf(static_cast<std::size_t>(n));
   std::vector<int> trace_buf(static_cast<std::size_t>(n));
   for (NodeId i = 0; i < n; ++i) {
     const std::string node = std::to_string(i);
+    const int s = partition.shard_of(i);
     arb_state[static_cast<std::size_t>(i)] =
         m.add_state(State{"router." + node + ".arb", 0, false, kSerialShard, false, false});
     router_state[static_cast<std::size_t>(i)] =
-        m.add_state(State{"router." + node + ".state", 0, false, kSerialShard, false, false});
+        m.add_state(State{"router." + node + ".pool", 0, false, kSerialShard, false, false});
     nic_state[static_cast<std::size_t>(i)] =
         m.add_state(State{"nic." + node + ".state", 0, false, kSerialShard, false, false});
+    // Per-port arrival bytes (the pool's wake row / the NIC's arrival
+    // flags): stamped by the phase-B advance of each incoming channel,
+    // scanned by the kernel's event-skip test and read/cleared by the
+    // receiving component in phase A. The stamping accesses are added by
+    // add_channel below; here the receiver's own step accesses.
+    router_wake[static_cast<std::size_t>(i)] =
+        m.add_state(State{"router." + node + ".wake_row", 0, false, s, false, false});
+    nic_wake[static_cast<std::size_t>(i)] =
+        m.add_state(State{"nic." + node + ".wake", 0, false, s, false, false});
     delivery_buf[static_cast<std::size_t>(i)] =
         m.add_state(State{"nic." + node + ".delivery_buffer", 0, false, kSerialShard, false, false});
     trace_buf[static_cast<std::size_t>(i)] =
@@ -147,6 +170,12 @@ FootprintModel build_footprint(const core::Config& config,
     m.access(nic, nic_state[static_cast<std::size_t>(i)], Phase::kParallelStep, AccessKind::kWrite);
     // Delivery observer callbacks land in the node's buffer during the
     // parallel phase; tracer hooks likewise per router. Both flush serially.
+    // The receiver probes its arrival bytes and clears them as it consumes
+    // (read + write, phase A).
+    m.access(rtr, router_wake[static_cast<std::size_t>(i)], Phase::kParallelStep, AccessKind::kRead);
+    m.access(rtr, router_wake[static_cast<std::size_t>(i)], Phase::kParallelStep, AccessKind::kWrite);
+    m.access(nic, nic_wake[static_cast<std::size_t>(i)], Phase::kParallelStep, AccessKind::kRead);
+    m.access(nic, nic_wake[static_cast<std::size_t>(i)], Phase::kParallelStep, AccessKind::kWrite);
     m.access(nic, delivery_buf[static_cast<std::size_t>(i)], Phase::kParallelStep, AccessKind::kWrite);
     m.access(rtr, trace_buf[static_cast<std::size_t>(i)], Phase::kParallelStep, AccessKind::kWrite);
     m.access(flusher, delivery_buf[static_cast<std::size_t>(i)], Phase::kSerialFlush, AccessKind::kRead);
@@ -177,26 +206,35 @@ FootprintModel build_footprint(const core::Config& config,
   // One state per delay line, carrying sender (write, phase A), receiver
   // (read, phase A) and the phase-B advance by the classifying shard —
   // exactly Network::build's add_channel: interior when both endpoints
-  // share a shard, boundary (advanced by the receiver's shard,
-  // unconditionally) otherwise. The credit channel flows dst -> src but has
-  // the same endpoint-shard pair, so one classification covers both.
+  // share a shard, boundary (advanced by the *receiver's* shard,
+  // unconditionally) otherwise. Sender/receiver are per channel direction:
+  // a link's credit channel flows dst -> src, so it is filed under
+  // shard_of(src) while the flit channel is filed under shard_of(dst).
+  // Each advance also stamps the receiving component's arrival byte
+  // (ChannelBase::notify_wake), modelled as a phase-B write to the wake
+  // state — the analyzer folds it into the shard-locality check, which is
+  // what makes the receiver-shard filing invariant a proven property rather
+  // than a comment.
   std::vector<int> chan_states;
-  const auto add_channel = [&](const std::string& name, NodeId src, NodeId dst,
-                               int latency, int sender, int receiver) {
-    const int s_src = partition.shard_of(src);
-    const int s_dst = partition.shard_of(dst);
+  const auto add_channel = [&](const std::string& name, NodeId sender_node,
+                               NodeId receiver_node, int latency, int sender,
+                               int receiver, int wake) {
+    const int s_snd = partition.shard_of(sender_node);
+    const int s_rcv = partition.shard_of(receiver_node);
     State st;
     st.name = "chan." + name;
     st.latency = latency;
     st.channel = true;
-    st.boundary = s_src != s_dst;
-    st.advance_shard = st.boundary ? s_dst : s_src;
+    st.boundary = s_snd != s_rcv;
+    st.advance_shard = s_rcv;
     const int adv = st.advance_shard;
     const int id = m.add_state(std::move(st));
     chan_states.push_back(id);
     m.access(sender, id, Phase::kParallelStep, AccessKind::kWrite);
     m.access(receiver, id, Phase::kParallelStep, AccessKind::kRead);
     m.access(advancer[static_cast<std::size_t>(adv)], id, Phase::kAdvance,
+             AccessKind::kWrite);
+    m.access(advancer[static_cast<std::size_t>(adv)], wake, Phase::kAdvance,
              AccessKind::kWrite);
     m.components[static_cast<std::size_t>(advancer[static_cast<std::size_t>(adv)])]
         .work += kChannelWork;
@@ -208,19 +246,23 @@ FootprintModel build_footprint(const core::Config& config,
                              topo::port_name(desc.src_out_port);
     const int src_rtr = router_of[static_cast<std::size_t>(desc.src)];
     const int dst_rtr = router_of[static_cast<std::size_t>(desc.dst)];
-    add_channel(name, desc.src, desc.dst, config.link_latency, src_rtr, dst_rtr);
-    // Credits flow downstream -> upstream.
-    add_channel(name + ":credit", desc.src, desc.dst, config.link_latency,
-                dst_rtr, src_rtr);
+    add_channel(name, desc.src, desc.dst, config.link_latency, src_rtr, dst_rtr,
+                router_wake[static_cast<std::size_t>(desc.dst)]);
+    // Credits flow downstream -> upstream: the upstream router's output
+    // controller is the receiver, so the channel files under its shard.
+    add_channel(name + ":credit", desc.dst, desc.src, config.link_latency,
+                dst_rtr, src_rtr, router_wake[static_cast<std::size_t>(desc.src)]);
   }
   for (NodeId i = 0; i < n; ++i) {
     const std::string node = std::to_string(i);
     const int nic = nic_of[static_cast<std::size_t>(i)];
     const int rtr = router_of[static_cast<std::size_t>(i)];
-    add_channel("inject:" + node, i, i, 1, nic, rtr);
-    add_channel("inject_credit:" + node, i, i, 1, rtr, nic);
-    add_channel("eject:" + node, i, i, 1, rtr, nic);
-    add_channel("eject_credit:" + node, i, i, 1, nic, rtr);
+    const int rw = router_wake[static_cast<std::size_t>(i)];
+    const int nw = nic_wake[static_cast<std::size_t>(i)];
+    add_channel("inject:" + node, i, i, 1, nic, rtr, rw);
+    add_channel("inject_credit:" + node, i, i, 1, rtr, nic, nw);
+    add_channel("eject:" + node, i, i, 1, rtr, nic, nw);
+    add_channel("eject_credit:" + node, i, i, 1, nic, rtr, rw);
   }
 
   // --- determinism obligations ----------------------------------------------
@@ -254,6 +296,23 @@ FootprintModel build_footprint(const core::Config& config,
       "every channel either stays inside one shard or crosses the barrier "
       "with >= 1 cycle of slack and an unconditional advance",
       chan_states});
+  {
+    // The event-skip hybrid's correctness hinges on receiver-shard filing:
+    // the phase-B advance that stamps an arrival byte must run on the same
+    // shard whose phase-A step reads and clears it next cycle.
+    ObligationSpec wake;
+    wake.name = "arrival-byte-filing";
+    wake.claim =
+        "per-port arrival bytes are stamped only by phase-B advances of the "
+        "receiving component's own shard (receiver-shard channel filing) and "
+        "read/cleared by that component in phase A";
+    wake.states.reserve(static_cast<std::size_t>(2 * n));
+    for (NodeId i = 0; i < n; ++i) {
+      wake.states.push_back(router_wake[static_cast<std::size_t>(i)]);
+      wake.states.push_back(nic_wake[static_cast<std::size_t>(i)]);
+    }
+    m.obligations.push_back(std::move(wake));
+  }
 
   return m;
 }

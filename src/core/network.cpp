@@ -30,6 +30,14 @@ void Network::build() {
   // to its node's shard; a channel whose endpoints straddle two shards is a
   // boundary channel (advanced unconditionally at the barrier). Tile-port
   // channels connect a node to itself, so they are always interior.
+  //
+  // Channels are classified (sender, receiver) and a boundary channel is
+  // filed under the RECEIVER's shard. That choice is what makes the
+  // event-skip arrival bytes shard-local: a channel stamps its receiver's
+  // per-port arrival byte as it advances (phase B), and filing the channel
+  // under the receiver's shard means the stamping worker IS the byte
+  // owner's worker — the same one that reads and clears the byte in phase
+  // A. No arrival byte is ever touched by two shards.
   const auto add_component = [this](NodeId node, Clockable* c) {
     if (sharded_) {
       sharded_->add(shard_of(node), c);
@@ -37,23 +45,45 @@ void Network::build() {
       kernel_.add(c);
     }
   };
-  const auto add_channel = [this](NodeId src, NodeId dst, ChannelBase* ch) {
-    if (!sharded_) {
-      kernel_.add(ch);
-    } else if (shard_of(src) == shard_of(dst)) {
-      sharded_->add_interior(shard_of(src), ch);
+  const auto add_router_component = [this](NodeId node, router::Router* r) {
+    if (sharded_) {
+      sharded_->add(shard_of(node), r, r->wake_row(), router::Router::wake_width());
     } else {
-      sharded_->add_boundary(shard_of(dst), ch);
+      kernel_.add(r, r->wake_row(), router::Router::wake_width());
     }
   };
+  const auto add_channel = [this](NodeId sender, NodeId receiver, ChannelBase* ch) {
+    if (!sharded_) {
+      kernel_.add(ch);
+    } else if (shard_of(sender) == shard_of(receiver)) {
+      sharded_->add_interior(shard_of(sender), ch);
+    } else {
+      sharded_->add_boundary(shard_of(receiver), ch);
+    }
+  };
+
+  // Per-shard SoA pools: routers of shard s take consecutive slots in
+  // pools_[s], in node order.
+  std::vector<int> shard_router_count(static_cast<std::size_t>(shards_), 0);
+  for (NodeId i = 0; i < n; ++i) {
+    ++shard_router_count[static_cast<std::size_t>(shard_of(i))];
+  }
+  pools_.reserve(static_cast<std::size_t>(shards_));
+  for (int s = 0; s < shards_; ++s) {
+    pools_.push_back(std::make_unique<router::RouterStatePool>(
+        shard_router_count[static_cast<std::size_t>(s)], config_.router));
+  }
+  std::vector<int> next_slot(static_cast<std::size_t>(shards_), 0);
 
   routers_.reserve(static_cast<std::size_t>(n));
   nics_.reserve(static_cast<std::size_t>(n));
   for (NodeId i = 0; i < n; ++i) {
-    routers_.push_back(std::make_unique<router::Router>(i, *topology_, config_.router));
+    const auto shard = static_cast<std::size_t>(shard_of(i));
+    routers_.push_back(std::make_unique<router::Router>(
+        i, *topology_, config_.router, *pools_[shard], next_slot[shard]++));
     nics_.push_back(std::make_unique<Nic>(i, config_, routes_));
     add_component(i, nics_.back().get());
-    add_component(i, routers_.back().get());
+    add_router_component(i, routers_.back().get());
   }
 
   // Inter-router links.
@@ -71,10 +101,14 @@ void Network::build() {
         .attach(link.flits.get(), link.credits.get(), desc.length_mm);
     router_at(desc.dst).input(desc.dst_in_port)
         .attach(link.flits.get(), link.credits.get());
-    // The credit channel flows dst -> src, but both channels have the same
-    // pair of endpoint shards, so one classification covers both.
+    // Event-skip: the attach calls above wired each channel to its
+    // receiver's per-port arrival byte (flits -> dst input controller,
+    // credits -> src output controller).
+    // The credit channel flows dst -> src, so it is classified with the
+    // opposite (sender, receiver) pair — the receiver-shard filing rule
+    // above keeps both channels' wake stamping shard-local.
     add_channel(desc.src, desc.dst, link.flits.get());
-    add_channel(desc.src, desc.dst, link.credits.get());
+    add_channel(desc.dst, desc.src, link.credits.get());
     if (config_.fault_layer) {
       auto transform = std::make_unique<FaultyLinkTransform>(
           SteeredLink(router::kDataBits, config_.link_spare_bits));
@@ -105,6 +139,12 @@ void Network::build() {
     router_at(i).output(Port::kTile).attach(ej.flits.get(), ej.credits.get(), 0.0);
 
     nic(i).attach(inj.flits.get(), inj.credits.get(), ej.flits.get(), ej.credits.get());
+    // Channels delivering INTO the router were wired to its arrival bytes
+    // by the attach calls above; channels delivering into the NIC are wired
+    // to the NIC's own arrival flags by Nic::attach. NICs stay on the
+    // polled quiescent() path (clients enqueue packets through the Nic API
+    // directly, which no channel advance would observe), but the flags let
+    // that poll and the step phases skip the channel-object probes.
     add_channel(i, i, inj.flits.get());
     add_channel(i, i, inj.credits.get());
     add_channel(i, i, ej.flits.get());

@@ -24,22 +24,19 @@ Nic::Nic(NodeId node, const Config& config, const routing::RouteComputer& routes
       eject_stalled_(static_cast<std::size_t>(config.router.vcs), false),
       eject_arb_(config.router.vcs),
       reassembly_(static_cast<std::size_t>(config.router.vcs)),
-      req_scratch_(static_cast<std::size_t>(config.router.vcs), false),
+      req_scratch_(static_cast<std::size_t>(config.router.vcs), 0),
       prio_scratch_(static_cast<std::size_t>(config.router.vcs), 0),
       next_packet_id_(static_cast<PacketId>(node) << 40),
       class_latency_(4) {}
 
 bool Nic::quiescent() const {
-  if (inject_credit_ != nullptr && inject_credit_->receive().has_value()) return false;
-  if (eject_ != nullptr && eject_->receive().has_value()) return false;
+  // The arrival bytes are set exactly when the corresponding channel holds
+  // a delivered value (see the member comment), so these two loads replace
+  // the channel-object probes.
+  if (inj_credit_arrive_.load(std::memory_order_relaxed) != 0) return false;
+  if (eject_arrive_.load(std::memory_order_relaxed) != 0) return false;
   if (!loopback_.empty() || !carry_to_router_.empty()) return false;
-  for (const auto& q : vc_queues_) {
-    if (!q.empty()) return false;
-  }
-  for (const auto& q : eject_pending_) {
-    if (!q.empty()) return false;
-  }
-  return true;
+  return queued_flit_count_ == 0 && eject_pending_count_ == 0;
 }
 
 void Nic::attach(Channel<Flit>* inject, Channel<Credit>* inject_credit,
@@ -48,6 +45,8 @@ void Nic::attach(Channel<Flit>* inject, Channel<Credit>* inject_credit,
   inject_credit_ = inject_credit;
   eject_ = eject;
   eject_credit_ = eject_credit;
+  if (inject_credit_ != nullptr) inject_credit_->set_wake(&inj_credit_arrive_);
+  if (eject_ != nullptr) eject_->set_wake(&eject_arrive_);
 }
 
 std::uint8_t Nic::ready_mask() const {
@@ -103,6 +102,8 @@ void Nic::enqueue_packet_flits(Packet& packet, Cycle now, Cycle send_at) {
     f.priority = scheduled ? 1000 : packet.service_class;
     vc_queues_[static_cast<std::size_t>(inject_vc)].push_back(
         QueuedFlit{std::move(f), send_at});
+    ++queued_flit_count_;
+    if (scheduled) ++scheduled_flit_count_;
   }
 }
 
@@ -152,8 +153,11 @@ void Nic::schedule_packet(Packet packet, Cycle send_at, Cycle now) {
 }
 
 void Nic::step(Cycle now) {
-  // Credits returned by the tile input controller.
-  if (inject_credit_ != nullptr) {
+  // Credits returned by the tile input controller (arrival-byte gated; see
+  // quiescent()).
+  if (inject_credit_ != nullptr &&
+      inj_credit_arrive_.load(std::memory_order_relaxed) != 0) {
+    inj_credit_arrive_.store(0, std::memory_order_relaxed);
     if (auto credit = inject_credit_->take()) {
       if (!config_.router.dropping()) {
         auto& c = credits_[static_cast<std::size_t>(credit->vc)];
@@ -182,30 +186,43 @@ void Nic::step(Cycle now) {
 
 void Nic::process_ejection(Cycle now) {
   if (eject_ == nullptr) return;
-  if (auto flit = eject_->take()) {
-    // Harvest a piggybacked credit for the tile input buffers upstream.
-    if (flit->carried_credit_vc >= 0) {
-      if (!config_.router.dropping()) {
-        auto& c = credits_[static_cast<std::size_t>(flit->carried_credit_vc)];
+  // Arrival-byte gated, in-place arrival handling (receive + consume): the
+  // pending-queue copy goes straight from channel storage, skipping the
+  // take() temporary.
+  if (eject_arrive_.load(std::memory_order_relaxed) != 0) {
+    eject_arrive_.store(0, std::memory_order_relaxed);
+    const std::optional<Flit>& arriving = eject_->receive();
+    if (arriving.has_value()) {
+      const Flit& fl = *arriving;
+      // Harvest a piggybacked credit for the tile input buffers upstream.
+      const std::int8_t carried = fl.carried_credit_vc;
+      if (carried >= 0 && !config_.router.dropping()) {
+        auto& c = credits_[static_cast<std::size_t>(carried)];
         ++c;
         assert(c <= config_.router.buffer_depth);
       }
-      flit->carried_credit_vc = -1;
-    }
-    if (flit->type != router::FlitType::kCreditOnly) {
-      eject_pending_[static_cast<std::size_t>(flit->vc)].push_back(std::move(*flit));
+      if (fl.type != router::FlitType::kCreditOnly) {
+        auto& q = eject_pending_[static_cast<std::size_t>(fl.vc)];
+        q.push_back(fl);
+        if (carried >= 0) q.back().carried_credit_vc = -1;
+        ++eject_pending_count_;
+      }
+      eject_->consume();
     }
   }
+  // Nothing parked: with every request bit zero the arbiter would return -1
+  // and leave its pointer frozen, so skipping it is identical.
+  if (eject_pending_count_ == 0) return;
   // Consume at most one flit per cycle (the physical port is one flit wide)
   // from a non-stalled VC, returning its credit.
-  std::vector<bool>& requests = req_scratch_;
   for (std::size_t v = 0; v < eject_pending_.size(); ++v) {
-    requests[v] = !eject_pending_[v].empty() && !eject_stalled_[v];
+    req_scratch_[v] = !eject_pending_[v].empty() && !eject_stalled_[v] ? 1 : 0;
   }
-  const int vc = eject_arb_.arbitrate(requests);
+  const int vc = eject_arb_.arbitrate(req_scratch_.data());
   if (vc < 0) return;
   Flit f = std::move(eject_pending_[static_cast<std::size_t>(vc)].front());
   eject_pending_[static_cast<std::size_t>(vc)].pop_front();
+  --eject_pending_count_;
   if (!config_.router.dropping()) {
     if (config_.router.piggyback_credits) {
       carry_to_router_.push_back(static_cast<VcId>(vc));
@@ -256,14 +273,40 @@ void Nic::consume_flit(Flit flit, Cycle now) {
 
 void Nic::do_injection(Cycle now) {
   if (inject_ == nullptr) return;
+  if (queued_flit_count_ == 0) {
+    // Empty queues mean zero request bits: the arbiter would return -1 with
+    // its pointer frozen, landing in the credit-only branch below — reached
+    // here directly.
+    if (config_.router.piggyback_credits && !carry_to_router_.empty()) {
+      Flit f;
+      f.type = FlitType::kCreditOnly;
+      f.size_code = 0;
+      f.carried_credit_vc = static_cast<std::int8_t>(carry_to_router_.front());
+      carry_to_router_.pop_front();
+      inject_->send(std::move(f));
+    }
+    return;
+  }
   const int vcs = config_.router.vcs;
-  std::vector<bool>& requests = req_scratch_;
-  std::vector<int>& priority = prio_scratch_;
-  std::fill(requests.begin(), requests.end(), false);
-  std::fill(priority.begin(), priority.end(), 0);
+  std::uint8_t* requests = req_scratch_.data();
+  int* priority = prio_scratch_.data();
   for (VcId v = 0; v < vcs; ++v) {
+    requests[v] = 0;
+    priority[v] = 0;
     auto& q = vc_queues_[static_cast<std::size_t>(v)];
     if (q.empty()) continue;
+    if (scheduled_flit_count_ == 0) {
+      // No scheduled flit anywhere in this NIC: every front has
+      // send_at < 0, so the reservation-phase checks above are no-ops and
+      // credit readiness can be tested first — the (common, at saturation)
+      // credit-starved VC then never touches the queue front.
+      const bool ready =
+          config_.router.dropping() || credits_[static_cast<std::size_t>(v)] > 0;
+      if (!ready) continue;
+      requests[v] = 1;
+      priority[v] = q.front().flit.priority;
+      continue;
+    }
     const QueuedFlit& qf = q.front();
     if (qf.send_at >= 0) {
       if (qf.send_at > now) continue;  // wait for the reservation phase
@@ -271,8 +314,8 @@ void Nic::do_injection(Cycle now) {
     }
     const bool ready = config_.router.dropping() || credits_[static_cast<std::size_t>(v)] > 0;
     if (!ready) continue;
-    requests[static_cast<std::size_t>(v)] = true;
-    priority[static_cast<std::size_t>(v)] = qf.flit.priority;
+    requests[v] = 1;
+    priority[v] = qf.flit.priority;
   }
   const int vc = inject_arb_.arbitrate(requests, priority);
   if (vc < 0) {
@@ -291,6 +334,8 @@ void Nic::do_injection(Cycle now) {
   auto& q = vc_queues_[static_cast<std::size_t>(vc)];
   QueuedFlit qf = std::move(q.front());
   q.pop_front();
+  --queued_flit_count_;
+  if (qf.send_at >= 0) --scheduled_flit_count_;
   if (!config_.router.dropping()) --credits_[static_cast<std::size_t>(vc)];
   if (config_.router.piggyback_credits && !carry_to_router_.empty()) {
     qf.flit.carried_credit_vc = static_cast<std::int8_t>(carry_to_router_.front());

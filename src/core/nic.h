@@ -106,6 +106,21 @@ class Nic final : public Clockable {
   }
   /// Piggyback credits queued to ride on the next injected flit.
   int carry_backlog() const { return static_cast<int>(carry_to_router_.size()); }
+  /// Incrementally-maintained occupancy counters behind quiescent() and the
+  /// injection/ejection fast paths. The SoA cross-check compares them
+  /// against queued_flits()/pending_eject_flits()/scheduled_flits_queued(),
+  /// which recompute from the queues.
+  int queued_flit_counter() const { return queued_flit_count_; }
+  int eject_pending_counter() const { return eject_pending_count_; }
+  int scheduled_flit_counter() const { return scheduled_flit_count_; }
+  /// Scheduled (send_at >= 0) flits queued, recomputed from the queues.
+  int scheduled_flits_queued() const {
+    int n = 0;
+    for (const auto& q : vc_queues_) {
+      for (const auto& qf : q) n += qf.send_at >= 0 ? 1 : 0;
+    }
+    return n;
+  }
   const router::PriorityArbiter& inject_arbiter() const { return inject_arb_; }
   const router::RoundRobinArbiter& eject_arbiter() const { return eject_arb_; }
 
@@ -135,6 +150,13 @@ class Nic final : public Clockable {
   Channel<router::Credit>* inject_credit_ = nullptr;
   Channel<router::Flit>* eject_ = nullptr;
   Channel<router::Credit>* eject_credit_ = nullptr;
+  /// Arrival bytes for the two channels delivering INTO this NIC (ejected
+  /// flits, returned injection credits), same protocol as the router pool's
+  /// wake row: attach() wires them, the channel stamps on delivery, and
+  /// quiescent()/step() probe the channel object only when the byte is set,
+  /// clearing it as they consume.
+  std::atomic<std::uint8_t> eject_arrive_{0};
+  std::atomic<std::uint8_t> inj_credit_arrive_{0};
 
   std::vector<std::deque<QueuedFlit>> vc_queues_;
   /// Piggyback mode: credits for the router's tile output controller
@@ -145,12 +167,24 @@ class Nic final : public Clockable {
   router::PriorityArbiter inject_arb_;
 
   std::vector<std::deque<router::Flit>> eject_pending_;
+  /// Occupancy counters over vc_queues_ / eject_pending_ (sum of queue
+  /// sizes, maintained at every push/pop) so the per-cycle quiescent poll
+  /// and the ejection-arbitration gate are O(1) instead of walking all the
+  /// deques. The accessors queued_flits()/pending_eject_flits() still
+  /// recompute from the queues — the SoA cross-check compares both.
+  int queued_flit_count_ = 0;
+  int eject_pending_count_ = 0;
+  /// Scheduled (send_at >= 0) flits currently queued. While zero, the
+  /// injection request scan can test credit readiness before touching the
+  /// queue front (no reservation-phase checks or missed-slot accounting can
+  /// apply), which skips the deque access for credit-starved VCs.
+  int scheduled_flit_count_ = 0;
   std::vector<bool> eject_stalled_;
   router::RoundRobinArbiter eject_arb_;
   std::vector<Reassembly> reassembly_;
   // Per-cycle arbitration scratch, reused to keep allocations off the hot
   // path.
-  std::vector<bool> req_scratch_;
+  std::vector<std::uint8_t> req_scratch_;  // raw-arbiter request format
   std::vector<int> prio_scratch_;
 
   std::deque<std::pair<Packet, Cycle>> loopback_;  ///< self-addressed, (packet, deliver_at)

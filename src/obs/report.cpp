@@ -24,6 +24,10 @@ void Report::add_metric(const std::string& name, double value) {
   metrics_.set(name, Json(value));
 }
 
+void Report::add_perf_metric(const std::string& name, double value) {
+  perf_metrics_.set(name, Json(value));
+}
+
 void Report::add_note(const std::string& key, std::string value) {
   notes_.set(key, Json(std::move(value)));
 }
@@ -100,6 +104,7 @@ Json Report::to_json() const {
   }
   doc.set("verdicts", std::move(verdicts));
   doc.set("metrics", metrics_);
+  if (perf_metrics_.size() > 0) doc.set("perf_metrics", perf_metrics_);
   if (notes_.size() > 0) doc.set("notes", notes_);
   if (tables_.size() > 0) doc.set("tables", tables_);
   if (histograms_.size() > 0) doc.set("histograms", histograms_);

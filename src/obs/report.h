@@ -11,6 +11,8 @@
 //     "quick": false,                             // reduced-cycle CI mode
 //     "verdicts": [{"metric", "paper", "measured", "ok"}, ...],
 //     "metrics": {"name": number, ...},           // deterministic values ONLY
+//     "perf_metrics": {"name": number, ...},      // wall-clock throughput (Mflit/s);
+//                                                 // floor-gated, never value-diffed
 //     "notes": {"key": "string", ...},            // free-form annotations
 //     "tables": [{"name", "headers": [...], "rows": [[...], ...]}, ...],
 //     "histograms": {"name": {"bin_width", "count", "negatives",
@@ -57,6 +59,11 @@ class Report {
   /// Deterministic scalar (see schema contract above). Re-adding a name
   /// overwrites — benches often refine a value as they go.
   void add_metric(const std::string& name, double value);
+  /// Wall-clock-dependent throughput scalar (e.g. Mflit/s). Serialized under
+  /// "perf_metrics": first-class (key presence is part of the schema and
+  /// floor-gated via bench_compare.py --min-metric) but never value-diffed
+  /// against a baseline, because the numbers are machine-dependent.
+  void add_perf_metric(const std::string& name, double value);
   void add_note(const std::string& key, std::string value);
   void add_table(std::string name, std::vector<std::string> headers,
                  std::vector<std::vector<std::string>> rows);
@@ -87,6 +94,7 @@ class Report {
   std::int64_t cycles_ = 0;
   std::vector<Verdict> verdicts_;
   Json metrics_ = Json::object();
+  Json perf_metrics_ = Json::object();
   Json notes_ = Json::object();
   Json tables_ = Json::array();
   Json histograms_ = Json::object();

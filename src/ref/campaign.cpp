@@ -181,7 +181,8 @@ CampaignResult run_shard_campaign(const std::vector<CampaignCell>& cells,
         pr.deliveries = r.deliveries;
         pr.divergence = r.divergence;
         if (r.diverged) {
-          pr.report = divergence_report(cell.config, cell.scenario, trace, r);
+          pr.report =
+              divergence_report(cell.config, cell.scenario, trace, r, shards);
         }
         return pr;
       });

@@ -6,12 +6,33 @@
 
 #include "chaos/chaos.h"
 #include "core/network.h"
+#include "core/shard_partition.h"
+#include "ref/soa_check.h"
 
 namespace ocn::ref {
 
 namespace {
 
 constexpr std::size_t kMaxDetailLines = 16;
+
+/// SoA facade-contract gate: every lockstep tick also materializes the
+/// object-layer state from the RouterStatePool arrays and compares it
+/// field-by-field (ref::soa_crosscheck). Reported as its own divergence
+/// kind so a facade/pool split is never misread as a model mismatch.
+bool soa_divergence(core::Network& net, Cycle c, const char* side,
+                    DiffResult& result) {
+  std::vector<std::string> lines = soa_crosscheck(net);
+  if (lines.empty()) return false;
+  result.diverged = true;
+  result.divergence.cycle = c;
+  result.divergence.kind = "soa";
+  result.divergence.details.push_back(std::string("side: ") + side);
+  for (auto& l : lines) {
+    if (result.divergence.details.size() >= kMaxDetailLines) break;
+    result.divergence.details.push_back(std::move(l));
+  }
+  return true;
+}
 
 /// Walk the production network in the exact order RefNetwork::snapshot
 /// documents. Any new field added to one side must be added to the other
@@ -120,6 +141,11 @@ DiffResult run_lockstep(const core::Config& config, const Scenario& scenario,
     ref.tick();
     ++result.cycles_run;
 
+    if (soa_divergence(net, c, "production", result)) {
+      result.deliveries = static_cast<std::int64_t>(prod_log.size());
+      return result;
+    }
+
     // Delivery log first: a mismatched ejection gives a far better message
     // than the counter drift it also causes.
     const auto& ref_log = ref.deliveries();
@@ -222,6 +248,12 @@ DiffResult run_shard_lockstep(const core::Config& config,
     base.step();
     sharded.step();
     ++result.cycles_run;
+
+    if (soa_divergence(base, c, "1-shard", result) ||
+        soa_divergence(sharded, c, "sharded", result)) {
+      result.deliveries = static_cast<std::int64_t>(base_log.size());
+      return result;
+    }
 
     const std::size_t both = std::min(base_log.size(), sharded_log.size());
     for (std::size_t i = compared; i < both; ++i) {
@@ -327,17 +359,31 @@ MinimizeResult minimize_divergence(const core::Config& config,
 std::string divergence_report(const core::Config& config,
                               const Scenario& scenario,
                               const std::vector<traffic::TraceEntry>& trace,
-                              const DiffResult& result) {
+                              const DiffResult& result, int shards) {
   std::ostringstream out;
   out << "# ocn-diff divergence trace (replay: ocn-diff --replay <file>)\n";
   out << "# config: " << config.summary() << '\n';
   out << "# scenario: " << scenario.to_string() << '\n';
+  if (shards >= 2) out << "# shards: " << shards << '\n';
   if (result.diverged) {
     std::istringstream lines(result.divergence.to_string());
     std::string line;
     while (std::getline(lines, line)) out << "# " << line << '\n';
   }
   out << traffic::trace_to_csv(trace);
+  return out.str();
+}
+
+std::string replay_shards_error(int shards, int radix) {
+  const int resolved = core::resolve_shards(shards, radix);
+  if (resolved == shards) return "";
+  std::ostringstream out;
+  out << "trace asks for " << shards
+      << " shards, but the row-strip partition of a radix-" << radix
+      << " fabric supports at most " << resolved
+      << "; refusing to replay under a different partitioning than the one "
+         "that produced the trace (regenerate the trace or lower the shard "
+         "count)";
   return out.str();
 }
 

@@ -99,10 +99,20 @@ MinimizeResult minimize_divergence(const core::Config& config,
 
 /// Render a replayable failure report: the minimized trace as CSV plus the
 /// config summary, scenario and divergence details as '#' comments.
-/// parse_trace() reads the result back unchanged.
+/// parse_trace() reads the result back unchanged. When `shards` >= 2 (the
+/// shard-determinism campaigns) a "# shards: N" directive is recorded so
+/// --replay reruns the trace under the same kernel partitioning
+/// (traffic::trace_header_shards reads it back).
 std::string divergence_report(const core::Config& config,
                               const Scenario& scenario,
                               const std::vector<traffic::TraceEntry>& trace,
-                              const DiffResult& result);
+                              const DiffResult& result, int shards = 0);
+
+/// Validate a replayed trace's shard-count request against the row-strip
+/// partition clamp (core::resolve_shards caps shards at the radix). Returns
+/// "" when `shards` is honored exactly, else a message naming the request,
+/// the clamp and the radix — replay must refuse rather than silently run a
+/// different partitioning than the one that produced the trace.
+std::string replay_shards_error(int shards, int radix);
 
 }  // namespace ocn::ref

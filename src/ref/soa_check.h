@@ -1,0 +1,31 @@
+// SoA <-> object-layer equivalence check (tentpole gate, tests/test_soa.cpp).
+//
+// The SoA refactor keeps the object layer (VcBuffer, VcAllocator, arbiters,
+// Input/OutputController, Nic counters) as a facade of views over the
+// RouterStatePool arrays. This module materializes the state a fresh object
+// layer would observe from the arrays — re-deriving every slice through the
+// pool's own index arithmetic, independently of the pointers the facades
+// cached at construction — and compares it field-by-field against the facade
+// accessors. Any mismatch means a facade is looking at the wrong slice, a
+// batch loop bypassed the facade semantics, or an incrementally-maintained
+// counter drifted from the occupancy it summarizes.
+//
+// run_lockstep / run_shard_lockstep call this after every tick, so the whole
+// 12-cell quick matrix (and every ocn-diff campaign) gates on it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ocn::core {
+class Network;
+}
+
+namespace ocn::ref {
+
+/// Compare pool-derived state against the object-layer accessors for every
+/// router and NIC in `net`. Returns one "label: pool=X facade=Y" line per
+/// mismatching field (empty when equivalent). Capped at 32 lines.
+std::vector<std::string> soa_crosscheck(core::Network& net);
+
+}  // namespace ocn::ref

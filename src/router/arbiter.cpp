@@ -1,15 +1,45 @@
 #include "router/arbiter.h"
 
 #include <cassert>
+#include <cstddef>
 
 namespace ocn::router {
 
-int RoundRobinArbiter::arbitrate(const std::vector<bool>& requests) {
-  assert(static_cast<int>(requests.size()) == inputs_);
+namespace {
+
+/// Copy a vector<bool> (no contiguous storage) into a stack array so the
+/// convenience API can delegate to the one raw scan implementation.
+void to_stack(const std::vector<bool>& v, std::uint8_t* out, int expect) {
+  assert(static_cast<int>(v.size()) == expect);
+  assert(expect <= kMaxArbiterInputs);
+  for (int i = 0; i < expect; ++i) out[static_cast<std::size_t>(i)] = v[static_cast<std::size_t>(i)] ? 1 : 0;
+}
+
+}  // namespace
+
+int RoundRobinArbiter::arbitrate(const std::uint8_t* requests) {
   for (int i = 0; i < inputs_; ++i) {
-    const int candidate = (next_ + i) % inputs_;
+    const int candidate = (*next_ + i) % inputs_;
     if (requests[candidate]) {
-      next_ = (candidate + 1) % inputs_;
+      *next_ = (candidate + 1) % inputs_;
+      return candidate;
+    }
+  }
+  return -1;
+}
+
+int RoundRobinArbiter::arbitrate(const std::vector<bool>& requests) {
+  std::uint8_t req[kMaxArbiterInputs];
+  to_stack(requests, req, inputs_);
+  return arbitrate(req);
+}
+
+int RoundRobinArbiter::arbitrate_at_level(const std::uint8_t* requests,
+                                          const int* priority, int level) {
+  for (int i = 0; i < inputs_; ++i) {
+    const int candidate = (*next_ + i) % inputs_;
+    if (requests[candidate] && priority[candidate] == level) {
+      *next_ = (candidate + 1) % inputs_;
       return candidate;
     }
   }
@@ -19,25 +49,17 @@ int RoundRobinArbiter::arbitrate(const std::vector<bool>& requests) {
 int RoundRobinArbiter::arbitrate_at_level(const std::vector<bool>& requests,
                                           const std::vector<int>& priority,
                                           int level) {
-  assert(static_cast<int>(requests.size()) == inputs_);
   assert(requests.size() == priority.size());
-  for (int i = 0; i < inputs_; ++i) {
-    const int candidate = (next_ + i) % inputs_;
-    if (requests[candidate] &&
-        priority[static_cast<std::size_t>(candidate)] == level) {
-      next_ = (candidate + 1) % inputs_;
-      return candidate;
-    }
-  }
-  return -1;
+  std::uint8_t req[kMaxArbiterInputs];
+  to_stack(requests, req, inputs_);
+  return arbitrate_at_level(req, priority.data(), level);
 }
 
-int PriorityArbiter::arbitrate(const std::vector<bool>& requests,
-                               const std::vector<int>& priority) {
-  assert(requests.size() == priority.size());
+int PriorityArbiter::arbitrate(const std::uint8_t* requests,
+                               const int* priority) {
   bool any = false;
   int best = 0;
-  for (std::size_t i = 0; i < requests.size(); ++i) {
+  for (int i = 0; i < rr_.inputs(); ++i) {
     if (requests[i] && (!any || priority[i] > best)) {
       best = priority[i];
       any = true;
@@ -47,6 +69,14 @@ int PriorityArbiter::arbitrate(const std::vector<bool>& requests,
   // Round-robin among the highest-priority requesters, without building a
   // filtered request vector (this runs per input port per cycle).
   return rr_.arbitrate_at_level(requests, priority, best);
+}
+
+int PriorityArbiter::arbitrate(const std::vector<bool>& requests,
+                               const std::vector<int>& priority) {
+  assert(requests.size() == priority.size());
+  std::uint8_t req[kMaxArbiterInputs];
+  to_stack(requests, req, rr_.inputs());
+  return arbitrate(req, priority.data());
 }
 
 }  // namespace ocn::router

@@ -4,12 +4,18 @@
 // flit reaches the front of its VC buffer, the controller strips the next
 // two-bit entry off the route field to select the output port. Forwarding a
 // flit frees a buffer slot, which is signalled upstream with a credit.
+//
+// SoA refactor: all per-VC buffer and routing state lives in the owning
+// router's RouterStatePool slot; the VcBuffer members are views and the
+// discarding flags are a pool slice. The controller keeps only wiring,
+// per-cycle transients, and statistics.
 #pragma once
 
 #include <vector>
 
 #include "router/flit.h"
 #include "router/params.h"
+#include "router/soa.h"
 #include "router/vc_buffer.h"
 #include "sim/kernel.h"
 #include "topo/topology.h"
@@ -20,7 +26,13 @@ class OutputController;
 
 class InputController {
  public:
-  InputController(topo::Port port, const RouterParams& params);
+  InputController(topo::Port port, const RouterParams& params,
+                  RouterStatePool& pool, int slot);
+
+  InputController(InputController&&) = default;
+  InputController(const InputController&) = delete;
+  InputController& operator=(const InputController&) = delete;
+  InputController& operator=(InputController&&) = delete;
 
   /// Wire up the incoming flit channel and the upstream credit channel.
   /// Either may be null for disabled ports (mesh boundary).
@@ -38,6 +50,8 @@ class InputController {
   /// no flit arriving on the input link and every VC buffer empty. (A VC
   /// mid-wormhole with an empty buffer is still quiescent — it only has
   /// work again once the next body flit arrives, which flips this false.)
+  /// Recomputed from channel and buffer occupancy on every call, never
+  /// cached (the stale-flag pattern PR 6 fixed in Channel::take()).
   bool quiescent() const {
     if (in_ == nullptr) return true;
     if (in_->receive().has_value()) return false;
@@ -58,14 +72,20 @@ class InputController {
   const VcBuffer& vc(VcId v) const { return vcs_[static_cast<std::size_t>(v)]; }
   int num_vcs() const { return static_cast<int>(vcs_.size()); }
 
+  /// Dropping flow control: true while VC `v` is mid-discard of an arriving
+  /// packet. Exposed for the SoA equivalence cross-check.
+  bool discarding(VcId v) const { return discarding_[v]; }
+
   /// True if this input already forwarded a flit this cycle (one flit per
   /// input port per cycle crosses the switch).
-  bool popped_this_cycle() const { return popped_this_cycle_; }
+  bool popped_this_cycle() const { return *popped_; }
 
   /// Remove the front flit of `v`, emitting the upstream credit.
   Flit pop(VcId v);
 
-  void end_cycle() { popped_this_cycle_ = false; }
+  /// Kept for standalone use; pool-backed routers batch-clear all per-cycle
+  /// transients via RouterStatePool::clear_cycle_flags instead.
+  void end_cycle() { *popped_ = false; }
 
   // --- statistics -----------------------------------------------------------
   std::int64_t flits_arrived() const { return flits_arrived_; }
@@ -82,14 +102,27 @@ class InputController {
 
   topo::Port port_;
   const RouterParams& params_;
-  std::vector<VcBuffer> vcs_;
+  std::vector<VcBuffer> vcs_;  ///< views into the pool slot
   /// Dropping flow control: per-VC "currently discarding an arriving
-  /// packet" state.
-  std::vector<bool> discarding_;
+  /// packet" flags (pool slice, `vcs` wide).
+  bool* discarding_;
+  /// Contiguous pool rows for this port (decode_fronts scans these to skip
+  /// VCs with nothing to decode without touching the view objects).
+  const int* count_row_;
+  const bool* routed_row_;
+  /// Allocation-retry cache invalidation (see RouterStatePool::
+  /// alloc_primed_row): decode of a new head flit clears the primed bit.
+  bool* alloc_primed_row_;
+  /// This port's flit-arrival byte in the pool's wake row. The feeding
+  /// channel stamps it as it advances (attach() wires set_wake);
+  /// accept_arrival probes the channel object only when it is set, and
+  /// clears it as it consumes.
+  std::atomic<std::uint8_t>* arrive_flit_;
+  /// Pool-backed per-cycle transient (one switch traversal per input port).
+  bool* popped_;
   Channel<Flit>* in_ = nullptr;
   Channel<Credit>* credit_upstream_ = nullptr;
   OutputController* reverse_out_ = nullptr;
-  bool popped_this_cycle_ = false;
 
   std::int64_t flits_arrived_ = 0;
   std::int64_t packets_dropped_ = 0;

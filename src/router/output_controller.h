@@ -4,18 +4,27 @@
 // flits in those stage buffers arbitrate for the outgoing link. Tracks
 // downstream credits per VC, owns the downstream VC allocation state, and
 // holds the cyclic reservation table for pre-scheduled traffic.
+//
+// SoA refactor: credits, VC-allocation flags, the stage registers, the
+// piggyback carry ring, and the link-arbiter rotation pointer all live in
+// the owning router's RouterStatePool slot. The stage is a flat Flit slab
+// plus full/fresh flag arrays (replacing std::optional per slot), and the
+// carry queue is a fixed ring bounded by vcs x buffer_depth (credit
+// conservation: an entry is a freed buffer slot not yet signalled
+// upstream). arbitrate_link builds its request/priority sets in stack
+// arrays and calls the raw arbiter overload — the per-call vector
+// allocations this replaces dominated the pre-SoA hot-path profile.
 #pragma once
 
-#include <array>
-#include <deque>
+#include <cassert>
 #include <functional>
-#include <optional>
 #include <vector>
 
 #include "router/arbiter.h"
 #include "router/flit.h"
 #include "router/params.h"
 #include "router/reservation.h"
+#include "router/soa.h"
 #include "router/vc_allocator.h"
 #include "sim/kernel.h"
 #include "topo/topology.h"
@@ -24,7 +33,13 @@ namespace ocn::router {
 
 class OutputController {
  public:
-  OutputController(topo::Port port, const RouterParams& params);
+  OutputController(topo::Port port, const RouterParams& params,
+                   RouterStatePool& pool, int slot);
+
+  OutputController(OutputController&&) = default;
+  OutputController(const OutputController&) = delete;
+  OutputController& operator=(const OutputController&) = delete;
+  OutputController& operator=(OutputController&&) = delete;
 
   /// Wire the outgoing link and the downstream credit return. length_mm is
   /// the physical wire length for energy/duty accounting.
@@ -39,15 +54,16 @@ class OutputController {
   /// credit arriving from downstream, no staged flits awaiting the link, no
   /// piggyback credits queued, and no reservation slots (reserved slots are
   /// accounted — idle_reserved_cycles — every cycle, so they keep the
-  /// router on the clock).
+  /// router on the clock). Recomputed from occupancy on every call, never
+  /// cached (the stale-flag pattern PR 6 fixed in Channel::take()).
   bool quiescent() const {
     if (link_ == nullptr) return true;
     if (credit_downstream_ != nullptr && credit_downstream_->receive().has_value()) {
       return false;
     }
-    if (!carry_queue_.empty() || reservations_.any()) return false;
-    for (const auto& s : stage_) {
-      if (s.has_value()) return false;
+    if (*carry_count_ != 0 || reservations_.any()) return false;
+    for (int i = 0; i < topo::kNumPorts; ++i) {
+      if (stage_full_[i]) return false;
     }
     return true;
   }
@@ -71,12 +87,17 @@ class OutputController {
   /// controller (this controller's own downstream buffers were freed).
   void receive_credit(VcId vc);
   /// Piggyback path: queue a credit to carry on this link's next flit.
-  void queue_carry(VcId vc) { carry_queue_.push_back(vc); }
-  int carry_backlog() const { return static_cast<int>(carry_queue_.size()); }
+  void queue_carry(VcId vc) {
+    assert(*carry_count_ < carry_cap_ &&
+           "carry ring overflow: credit conservation violated");
+    carry_ring_[(*carry_head_ + *carry_count_) % carry_cap_] = vc;
+    ++*carry_count_;
+  }
+  int carry_backlog() const { return *carry_count_; }
 
   bool has_credit(VcId vc) const;
   void consume_credit(VcId vc);
-  int credits(VcId vc) const { return credits_[static_cast<std::size_t>(vc)]; }
+  int credits(VcId vc) const { return credits_[vc]; }
 
   VcAllocator& vc_alloc() { return vc_alloc_; }
   const VcAllocator& vc_alloc() const { return vc_alloc_; }
@@ -87,19 +108,21 @@ class OutputController {
   /// Flits currently sitting in the per-input stage registers.
   int staged_flits() const {
     int n = 0;
-    for (const auto& s : stage_) n += s.has_value() ? 1 : 0;
+    for (int i = 0; i < topo::kNumPorts; ++i) n += stage_full_[i] ? 1 : 0;
     return n;
   }
   const PriorityArbiter& link_arbiter() const { return link_arb_; }
+  /// Stage register content for `input` (valid only when !stage_empty).
+  const Flit& staged(int input) const { return stage_flits_[input]; }
 
   // --- output stage ---------------------------------------------------------
-  bool stage_empty(int input) const { return !stage_[static_cast<std::size_t>(input)].has_value(); }
+  bool stage_empty(int input) const { return !stage_full_[input]; }
   /// Insert a flit that crossed the switch this cycle; it becomes eligible
   /// for link arbitration next cycle (the stage is a register).
   void stage_push(int input, Flit f);
 
   // --- link -----------------------------------------------------------------
-  bool link_used_this_cycle() const { return link_used_; }
+  bool link_used_this_cycle() const { return *link_used_; }
   /// Pre-scheduled bypass: the flit goes straight from the input buffer to
   /// the link, skipping the output stage and arbitration (section 2.6).
   void send_bypass(Flit f);
@@ -108,6 +131,8 @@ class OutputController {
   /// flit instead.
   void arbitrate_link(Cycle now);
 
+  /// Kept for standalone use; pool-backed routers batch-clear all per-cycle
+  /// transients via RouterStatePool::clear_cycle_flags instead.
   void end_cycle();
 
   // --- statistics -----------------------------------------------------------
@@ -130,6 +155,12 @@ class OutputController {
 
  private:
   void send_on_link(Flit f, bool bypass);
+  VcId carry_pop() {
+    const VcId v = carry_ring_[*carry_head_];
+    *carry_head_ = (*carry_head_ + 1) % carry_cap_;
+    --*carry_count_;
+    return v;
+  }
 
   topo::Port port_;
   const RouterParams& params_;
@@ -140,15 +171,23 @@ class OutputController {
   Tracer monitor_;
   double length_mm_ = 0.0;
 
-  std::vector<int> credits_;
+  int* credits_;  ///< pool slice, `vcs` wide
   VcAllocator vc_alloc_;
   ReservationTable reservations_;
 
-  std::deque<VcId> carry_queue_;
-  std::array<std::optional<Flit>, topo::kNumPorts> stage_{};
-  std::array<bool, topo::kNumPorts> fresh_{};
+  VcId* carry_ring_;  ///< pool ring, carry_cap_ slots
+  int* carry_head_;
+  int* carry_count_;
+  int carry_cap_;
+  Flit* stage_flits_;  ///< pool slab, kNumPorts slots (one per input)
+  bool* stage_full_;
+  bool* stage_fresh_;
   PriorityArbiter link_arb_;
-  bool link_used_ = false;
+  /// This port's credit-arrival byte in the pool's wake row (see
+  /// InputController::arrive_flit_ for the protocol).
+  std::atomic<std::uint8_t>* arrive_credit_;
+  /// Pool-backed per-cycle transient (one flit per link per cycle).
+  bool* link_used_;
 
   std::int64_t flits_sent_ = 0;
   std::int64_t bypass_flits_ = 0;

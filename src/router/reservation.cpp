@@ -8,13 +8,13 @@ bool ReservationTable::reserve(int slot, int input, VcId vc) {
   assert(slot >= 0 && slot < frame());
   if (slots_[static_cast<std::size_t>(slot)].reserved()) return false;
   slots_[static_cast<std::size_t>(slot)] = Slot{input, vc};
-  ++reserved_count_;
+  ++*reserved_count_;
   return true;
 }
 
 void ReservationTable::clear(int slot) {
   assert(slot >= 0 && slot < frame());
-  if (slots_[static_cast<std::size_t>(slot)].reserved()) --reserved_count_;
+  if (slots_[static_cast<std::size_t>(slot)].reserved()) --*reserved_count_;
   slots_[static_cast<std::size_t>(slot)] = Slot{};
 }
 

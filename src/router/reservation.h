@@ -6,6 +6,12 @@
 // At run time a pre-scheduled flit moves from link to link without
 // arbitration or delay by riding its reserved slots; dynamic traffic
 // arbitrates for the remaining cycles.
+//
+// SoA refactor: the slot table itself is cold (touched only at configuration
+// time and on the reserved cycles), so it stays a vector; only the
+// reserved-slot *count* — read by the per-cycle any() gate and by the
+// event-skip occupancy scan — can be pool-backed via the two-argument
+// constructor.
 #pragma once
 
 #include <vector>
@@ -23,6 +29,22 @@ class ReservationTable {
   };
 
   explicit ReservationTable(int frame) : slots_(frame > 0 ? frame : 1) {}
+  /// Pool-backed count slot (owned by a RouterStatePool, starts at 0).
+  ReservationTable(int frame, int* count_slot)
+      : slots_(frame > 0 ? frame : 1), reserved_count_(count_slot) {}
+
+  ReservationTable(const ReservationTable& o)
+      : slots_(o.slots_),
+        own_count_(o.own_count_),
+        reserved_count_(o.reserved_count_ == &o.own_count_ ? &own_count_
+                                                           : o.reserved_count_) {}
+  ReservationTable(ReservationTable&& o) noexcept
+      : slots_(std::move(o.slots_)),
+        own_count_(o.own_count_),
+        reserved_count_(o.reserved_count_ == &o.own_count_ ? &own_count_
+                                                           : o.reserved_count_) {}
+  ReservationTable& operator=(const ReservationTable&) = delete;
+  ReservationTable& operator=(ReservationTable&&) = delete;
 
   int frame() const { return static_cast<int>(slots_.size()); }
 
@@ -36,8 +58,8 @@ class ReservationTable {
 
   /// Number of reserved slots; maintained incrementally so the per-cycle
   /// `any()` check in the router hot path is O(1).
-  int reserved_count() const { return reserved_count_; }
-  bool any() const { return reserved_count_ > 0; }
+  int reserved_count() const { return *reserved_count_; }
+  bool any() const { return *reserved_count_ > 0; }
 
  private:
   int index(Cycle now) const {
@@ -45,7 +67,8 @@ class ReservationTable {
     return static_cast<int>(((now % f) + f) % f);
   }
   std::vector<Slot> slots_;
-  int reserved_count_ = 0;
+  int own_count_ = 0;
+  int* reserved_count_ = &own_count_;
 };
 
 }  // namespace ocn::router

@@ -1,29 +1,49 @@
 #include "router/router.h"
 
-#include <algorithm>
 #include <cassert>
+#include <cstring>
 
 namespace ocn::router {
 
 using topo::Port;
 
 Router::Router(NodeId node, const topo::Topology& topology, const RouterParams& params)
-    : node_(node), topo_(topology), params_(params) {
+    : node_(node),
+      topo_(topology),
+      params_(params),
+      own_pool_(std::make_unique<RouterStatePool>(1, params)),
+      pool_(own_pool_.get()),
+      slot_(0) {
+  init_controllers();
+}
+
+Router::Router(NodeId node, const topo::Topology& topology, const RouterParams& params,
+               RouterStatePool& pool, int slot)
+    : node_(node), topo_(topology), params_(params), pool_(&pool), slot_(slot) {
+  assert(slot >= 0 && slot < pool.routers());
+  init_controllers();
+}
+
+void Router::init_controllers() {
+  assert(params_.vcs <= kMaxArbiterInputs);
   inputs_.reserve(topo::kNumPorts);
   outputs_.reserve(topo::kNumPorts);
   switch_arbs_.reserve(topo::kNumPorts);
   for (int p = 0; p < topo::kNumPorts; ++p) {
-    inputs_.emplace_back(static_cast<Port>(p), params_);
-    outputs_.emplace_back(static_cast<Port>(p), params_);
-    switch_arbs_.emplace_back(params_.vcs);
+    inputs_.emplace_back(static_cast<Port>(p), params_, *pool_, slot_);
+    outputs_.emplace_back(static_cast<Port>(p), params_, *pool_, slot_);
+    switch_arbs_.emplace_back(params_.vcs, pool_->switch_pointer(slot_, p));
   }
   for (int p = 0; p < topo::kNumPorts; ++p) {
     const Port rev = topo::reverse(static_cast<Port>(p));
     inputs_[static_cast<std::size_t>(p)].set_reverse_output(
         &outputs_[static_cast<std::size_t>(rev)]);
   }
-  req_scratch_.resize(static_cast<std::size_t>(params_.vcs));
-  prio_scratch_.resize(static_cast<std::size_t>(params_.vcs));
+  std::memset(req_scratch_, 0, sizeof(req_scratch_));
+  std::memset(prio_scratch_, 0, sizeof(prio_scratch_));
+  for (int p = 0; p < topo::kNumPorts; ++p) {
+    dateline_cache_[p] = topo_.crosses_dateline(node_, static_cast<Port>(p));
+  }
 }
 
 bool Router::quiescent() const {
@@ -43,7 +63,7 @@ bool Router::effective_dateline(const Flit& head, Port in_port, Port out_port) c
   if (in_port == Port::kTile || topo::dim_of(in_port) != topo::dim_of(out_port)) {
     crossed = false;
   }
-  if (topo_.crosses_dateline(node_, out_port)) crossed = true;
+  if (dateline_cache_[static_cast<int>(out_port)]) crossed = true;
   return crossed;
 }
 
@@ -55,8 +75,10 @@ void Router::step(Cycle now) {
   reservation_bypass(now);
   link_arbitration(now);
   switch_traversal(now);
-  for (auto& in : inputs_) in.end_cycle();
-  for (auto& out : outputs_) out.end_cycle();
+  // Equivalent to calling end_cycle() on every controller: the per-cycle
+  // transients (popped, link_used, stage_fresh) are pool rows, cleared with
+  // three contiguous writes instead of ten object visits.
+  pool_->clear_cycle_flags(slot_);
 }
 
 void Router::vc_allocation(Cycle now) {
@@ -65,49 +87,76 @@ void Router::vc_allocation(Cycle now) {
   // incremented every cycle) so skipped quiescent cycles don't perturb it.
   const int start = static_cast<int>(now % topo::kNumPorts);
   for (int i = 0; i < topo::kNumPorts; ++i) {
-    auto& in = inputs_[static_cast<std::size_t>((start + i) % topo::kNumPorts)];
+    const int p = (start + i) % topo::kNumPorts;
+    auto& in = inputs_[static_cast<std::size_t>(p)];
     if (!in.attached()) continue;
-    for (VcId v = 0; v < in.num_vcs(); ++v) {
-      VcBuffer& buf = in.vc(v);
-      if (!buf.routed || buf.out_vc != kInvalidVc || buf.empty()) continue;
+    // Candidate filter over the pool's contiguous rows — the same pure
+    // reads the facade would make, as sequential loads. Only VCs that are
+    // occupied, routed, and still ungranted fall through.
+    const int* cnt = pool_->buf_count_row(slot_, p);
+    const bool* routed = pool_->routed_row(slot_, p);
+    const VcId* outvc = pool_->out_vc_row(slot_, p);
+    const Cycle* routed_at = pool_->routed_at_row(slot_, p);
+    const Port* outport = pool_->out_port_row(slot_, p);
+    std::uint8_t* amask = pool_->alloc_mask_row(slot_, p);
+    bool* awant = pool_->alloc_want_odd_row(slot_, p);
+    bool* ahead = pool_->alloc_head_row(slot_, p);
+    bool* aprimed = pool_->alloc_primed_row(slot_, p);
+    const int nvcs = in.num_vcs();
+    for (VcId v = 0; v < nvcs; ++v) {
+      if (cnt[v] == 0 || !routed[v] || outvc[v] != kInvalidVc) continue;
       // Conservative pipeline: decode and allocation are separate stages.
-      if (!params_.speculative && buf.routed_at >= now) continue;
-      const Flit& head = buf.front();
-      if (!is_head(head.type)) continue;  // alloc happens at the head only
-      auto& out = outputs_[static_cast<std::size_t>(buf.out_port)];
+      if (!params_.speculative && routed_at[v] >= now) continue;
+      // Retry cache: the request (front-is-head, mask, parity) is a pure
+      // function of the head flit, which stays at the front for as long as
+      // this VC remains a candidate (a pop requires the grant this stage is
+      // trying to produce, and a new head re-decodes, which invalidates).
+      // Priming reads the slab once per packet; retries replay the rows.
+      if (!aprimed[v]) {
+        const Flit& head = in.vc(v).front();
+        aprimed[v] = true;
+        ahead[v] = is_head(head.type);
+        amask[v] = head.vc_mask;
+        awant[v] = effective_dateline(head, in.port(), outport[v]);
+      }
+      if (!ahead[v]) continue;  // alloc happens at the head only
+      auto& out = outputs_[static_cast<std::size_t>(outport[v])];
       if (v == params_.scheduled_vc && params_.exclusive_scheduled_vc) {
         // Pre-scheduled traffic keeps its dedicated VC end to end; slots
         // were reserved at configuration time so no allocation is needed.
-        buf.out_vc = params_.scheduled_vc;
+        in.vc(v).out_vc = params_.scheduled_vc;
         continue;
       }
       if (params_.dropping()) {
         // Dropping flow control keeps the same VC index across hops; the
         // VC is still owned for the packet's duration so wormholes from
         // different inputs never interleave on one link VC.
-        if (out.vc_alloc().allocate_exact(v)) buf.out_vc = v;
+        if (out.vc_alloc().allocate_exact(v)) in.vc(v).out_vc = v;
         continue;
       }
-      const bool want_odd = effective_dateline(head, in.port(), buf.out_port);
-      const bool ignore_parity = buf.out_port == Port::kTile;
-      const VcId granted = out.vc_alloc().allocate(head.vc_mask, want_odd, ignore_parity);
-      if (granted != kInvalidVc) buf.out_vc = granted;
+      const bool ignore_parity = outport[v] == Port::kTile;
+      const VcId granted = out.vc_alloc().allocate(amask[v], awant[v], ignore_parity);
+      if (granted != kInvalidVc) in.vc(v).out_vc = granted;
     }
   }
 }
 
 Flit Router::take_flit(InputController& in, VcId vc, Port out_port, VcId out_vc) {
-  VcBuffer& buf = in.vc(vc);
   Flit f = in.pop(vc);
   if (is_head(f.type)) {
     f.dateline_crossed = effective_dateline(f, in.port(), out_port);
   }
   f.vc = out_vc;
-  (void)buf;
   return f;
 }
 
 void Router::reservation_bypass(Cycle now) {
+  // Pool-row early-out: without a single reserved slot anywhere (the common
+  // case outside scheduled-traffic configs) there is nothing to bypass.
+  const int* resv = pool_->resv_count_row(slot_);
+  bool any = false;
+  for (int p = 0; p < topo::kNumPorts; ++p) any |= resv[p] != 0;
+  if (!any) return;
   for (auto& out : outputs_) {
     if (!out.attached() || !out.reservations().any()) continue;
     const auto& slot = out.reservations().at(now);
@@ -126,6 +175,22 @@ void Router::reservation_bypass(Cycle now) {
 }
 
 void Router::link_arbitration(Cycle now) {
+  // Pool-row gate: arbitrate_link can only act when some stage register is
+  // occupied, a piggyback credit is queued (credit-only filler), or a
+  // reservation exists (idle reserved slots are accounted every cycle).
+  // All three are visible in contiguous pool rows.
+  bool any = false;
+  const bool* full = pool_->stage_full_block(slot_);
+  for (int i = 0; i < topo::kNumPorts * topo::kNumPorts; ++i) any |= full[i];
+  if (!any && params_.piggyback_credits) {
+    const int* carry = pool_->carry_count_row(slot_);
+    for (int p = 0; p < topo::kNumPorts; ++p) any |= carry[p] != 0;
+  }
+  if (!any) {
+    const int* resv = pool_->resv_count_row(slot_);
+    for (int p = 0; p < topo::kNumPorts; ++p) any |= resv[p] != 0;
+  }
+  if (!any) return;
   for (auto& out : outputs_) {
     if (out.attached()) out.arbitrate_link(now);
   }
@@ -135,26 +200,39 @@ void Router::switch_traversal(Cycle now) {
   for (int i = 0; i < topo::kNumPorts; ++i) {
     auto& in = inputs_[static_cast<std::size_t>(i)];
     if (!in.attached() || in.popped_this_cycle()) continue;
-    std::vector<bool>& requests = req_scratch_;
-    std::vector<int>& priority = prio_scratch_;
-    std::fill(requests.begin(), requests.end(), false);
-    std::fill(priority.begin(), priority.end(), 0);
-    for (VcId v = 0; v < in.num_vcs(); ++v) {
+    const int nvcs = in.num_vcs();
+    // Row filter first (occupied + routed + VC granted), then the remaining
+    // per-candidate checks through the facade. Same request set as checking
+    // everything through the views — the predicates are all pure reads.
+    const int* cnt = pool_->buf_count_row(slot_, i);
+    const bool* routed = pool_->routed_row(slot_, i);
+    const VcId* outvc = pool_->out_vc_row(slot_, i);
+    int requesters = 0;
+    for (VcId v = 0; v < nvcs; ++v) {
+      req_scratch_[v] = 0;
+      prio_scratch_[v] = 0;
+      if (cnt[v] == 0 || !routed[v] || outvc[v] == kInvalidVc) continue;
       // Pre-scheduled traffic moves only on its reserved slots (bypass
       // path); letting it use the dynamic path would reintroduce jitter.
       if (params_.exclusive_scheduled_vc && v == params_.scheduled_vc) continue;
       const VcBuffer& buf = in.vc(v);
-      if (buf.empty() || !buf.routed || buf.out_vc == kInvalidVc) continue;
       if (!params_.speculative && buf.routed_at >= now) continue;
       const auto& out = outputs_[static_cast<std::size_t>(buf.out_port)];
       if (!out.attached()) continue;
       if (!out.stage_empty(i)) continue;
       if (!out.has_credit(buf.out_vc)) continue;
-      requests[static_cast<std::size_t>(v)] = true;
-      priority[static_cast<std::size_t>(v)] =
-          params_.priority_arbitration ? buf.front().priority : 0;
+      req_scratch_[v] = 1;
+      prio_scratch_[v] = params_.priority_arbitration ? buf.front().priority : 0;
+      ++requesters;
     }
-    const int winner = switch_arbs_[static_cast<std::size_t>(i)].arbitrate(requests, priority);
+    // Zero requesters: the arbiter would return -1 and leave its pointer
+    // frozen (the semantics tests/test_router_units.cpp pins) — skip it.
+    if (requesters == 0) continue;
+    const int winner =
+        params_.priority_arbitration
+            ? switch_arbs_[static_cast<std::size_t>(i)].arbitrate(req_scratch_,
+                                                                  prio_scratch_)
+            : switch_arbs_[static_cast<std::size_t>(i)].arbitrate_flat(req_scratch_);
     if (winner < 0) continue;
     VcBuffer& buf = in.vc(winner);
     auto& out = outputs_[static_cast<std::size_t>(buf.out_port)];

@@ -18,13 +18,22 @@
 // A flit therefore spends one cycle in the router (input buffer -> stage)
 // and one on the link when uncontended; the pre-scheduled bypass path takes
 // a single cycle per hop.
+//
+// SoA refactor (ROADMAP item 2): all hot per-VC state lives in a
+// RouterStatePool slot; the controllers and arbiters are facades of views
+// over it. core::Network constructs routers against one pool per shard
+// (consecutive slots) so a shard's hot state is contiguous; the three-arg
+// constructor keeps a private single-slot pool so standalone routers (unit
+// tests, the reference harness) run the identical code path.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "router/input_controller.h"
 #include "router/output_controller.h"
 #include "router/params.h"
+#include "router/soa.h"
 #include "sim/kernel.h"
 #include "topo/topology.h"
 
@@ -32,10 +41,17 @@ namespace ocn::router {
 
 class Router final : public Clockable {
  public:
+  /// Standalone: owns a private one-slot RouterStatePool.
   Router(NodeId node, const topo::Topology& topology, const RouterParams& params);
+  /// Pool-backed: state lives in `pool` slot `slot` (pool outlives router).
+  Router(NodeId node, const topo::Topology& topology, const RouterParams& params,
+         RouterStatePool& pool, int slot);
 
   NodeId node() const { return node_; }
   const RouterParams& params() const { return params_; }
+  RouterStatePool& pool() { return *pool_; }
+  const RouterStatePool& pool() const { return *pool_; }
+  int pool_slot() const { return slot_; }
 
   InputController& input(topo::Port p) { return inputs_[static_cast<std::size_t>(p)]; }
   OutputController& output(topo::Port p) { return outputs_[static_cast<std::size_t>(p)]; }
@@ -50,6 +66,19 @@ class Router final : public Clockable {
   /// state a skipped step would touch (allocation rotation) is derived from
   /// the cycle counter instead of incremented.
   bool quiescent() const override;
+
+  /// Event-skip fast path: internal work only (buffered/staged flits,
+  /// queued carry credits, reservation slots), one contiguous pool scan.
+  /// Arrivals are covered by the kernel's wake row — a channel delivering
+  /// into this router stamps its per-port arrival byte as it advances — so
+  /// `row all-zero && idle_internal()` is exactly quiescent() without
+  /// re-polling every attached channel.
+  bool idle_internal() const override { return !pool_->has_internal_work(slot_); }
+
+  /// The per-port arrival bytes channels stamp and the kernel scans; see
+  /// idle_internal(). Contiguous, wake_width() bytes wide.
+  std::atomic<std::uint8_t>* wake_row() { return pool_->wake_row(slot_); }
+  static constexpr int wake_width() { return RouterStatePool::kWakeWidth; }
 
   /// Dateline state the packet will have after leaving through out_port
   /// (see DESIGN.md on deadlock freedom). Exposed for tests.
@@ -75,6 +104,7 @@ class Router final : public Clockable {
   void register_metrics(obs::CounterRegistry& registry, const std::string& prefix) const;
 
  private:
+  void init_controllers();
   void vc_allocation(Cycle now);
   void reservation_bypass(Cycle now);
   void link_arbitration(Cycle now);
@@ -85,13 +115,19 @@ class Router final : public Clockable {
   NodeId node_;
   const topo::Topology& topo_;
   RouterParams params_;
+  std::unique_ptr<RouterStatePool> own_pool_;  ///< standalone ctor only
+  RouterStatePool* pool_;
+  int slot_;
   std::vector<InputController> inputs_;
   std::vector<OutputController> outputs_;
   std::vector<PriorityArbiter> switch_arbs_;  // one per input, over VCs
-  // Per-cycle switch-arbitration scratch, reused to keep allocations out of
-  // the hot loop.
-  std::vector<bool> req_scratch_;
-  std::vector<int> prio_scratch_;
+  // Per-cycle switch-arbitration scratch (stack-resident, no allocation).
+  std::uint8_t req_scratch_[kMaxArbiterInputs];
+  int prio_scratch_[kMaxArbiterInputs];
+  // crosses_dateline(node_, port) is a pure function of construction-time
+  // topology; cached so effective_dateline (VC allocation, every candidate
+  // head, every cycle) costs an array read instead of a virtual call.
+  bool dateline_cache_[topo::kNumPorts];
 };
 
 }  // namespace ocn::router

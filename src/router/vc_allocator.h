@@ -8,10 +8,15 @@
 // on wraparound topologies, the dateline parity discipline: classes are VC
 // pairs {2c, 2c+1}; a packet uses the even member before crossing its ring's
 // dateline and the odd member after (see DESIGN.md on deadlock freedom).
+//
+// SoA refactor: the allocated/excluded flags and the rotation pointer can
+// live in RouterStatePool (three-pointer constructor); the two-argument
+// constructor keeps private storage for standalone use. One implementation
+// either way — the members are pointers into whichever store backs them.
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <memory>
 
 #include "sim/types.h"
 
@@ -19,8 +24,29 @@ namespace ocn::router {
 
 class VcAllocator {
  public:
+  /// Standalone allocator with private storage (unit tests, reference model).
   VcAllocator(int vcs, bool enforce_parity)
-      : allocated_(vcs, false), excluded_(vcs, false), enforce_parity_(enforce_parity) {}
+      : own_(std::make_unique<Own>(vcs)),
+        vcs_(vcs),
+        enforce_parity_(enforce_parity),
+        allocated_(own_->allocated.get()),
+        excluded_(own_->excluded.get()),
+        rr_(&own_->rr) {}
+
+  /// Pool-backed: `allocated`/`excluded` are `vcs` flags and `rotation` one
+  /// int, all owned by a RouterStatePool (zero/false-initialized).
+  VcAllocator(int vcs, bool enforce_parity, bool* allocated, bool* excluded,
+              int* rotation)
+      : vcs_(vcs),
+        enforce_parity_(enforce_parity),
+        allocated_(allocated),
+        excluded_(excluded),
+        rr_(rotation) {}
+
+  VcAllocator(VcAllocator&&) = default;
+  VcAllocator(const VcAllocator&) = delete;
+  VcAllocator& operator=(const VcAllocator&) = delete;
+  VcAllocator& operator=(VcAllocator&&) = delete;
 
   /// Grant a free VC allowed by `mask` with parity matching `want_odd`
   /// (when parity is enforced and not suppressed via `ignore_parity`, e.g.
@@ -34,22 +60,57 @@ class VcAllocator {
   bool allocate_exact(VcId vc);
 
   void release(VcId vc);
-  bool is_allocated(VcId vc) const { return allocated_[static_cast<std::size_t>(vc)]; }
-  int vcs() const { return static_cast<int>(allocated_.size()); }
+  bool is_allocated(VcId vc) const { return allocated_[vc]; }
+  int vcs() const { return vcs_; }
   int free_count() const;
+  /// O(1): every VC currently owned by a packet. The common failure case at
+  /// saturation — VC ownership persists while credit-starved — so
+  /// allocate() fast-fails on it without the eligibility scan.
+  bool all_allocated() const { return allocated_count_ == vcs_; }
+  /// VCs currently allocated (maintained incrementally; equals the popcount
+  /// of the allocated flags — the SoA cross-check asserts this).
+  int allocated_count() const { return allocated_count_; }
   /// Fairness-rotation pointer: the VC scanned first on the next allocate().
   /// Exposed for the differential harness's state comparison.
-  int rotation() const { return rr_; }
+  int rotation() const { return *rr_; }
 
   /// Exclude a VC from dynamic allocation (reserved for scheduled traffic).
   void set_excluded(VcId vc, bool excluded);
 
  private:
+  struct Own {
+    explicit Own(int vcs)
+        : allocated(std::make_unique<bool[]>(static_cast<std::size_t>(vcs))),
+          excluded(std::make_unique<bool[]>(static_cast<std::size_t>(vcs))) {}
+    std::unique_ptr<bool[]> allocated;
+    std::unique_ptr<bool[]> excluded;
+    int rr = 0;
+  };
+
   bool eligible(VcId vc, std::uint8_t mask, bool want_odd, bool ignore_parity) const;
-  std::vector<bool> allocated_;
-  std::vector<bool> excluded_;
+
+  /// Recompute `vc`'s bit in busy_mask_ after an allocated_/excluded_ edit.
+  void update_busy_bit(VcId vc) {
+    const std::uint8_t bit = static_cast<std::uint8_t>(1u << vc);
+    if (allocated_[vc] || excluded_[vc]) {
+      busy_mask_ |= bit;
+    } else {
+      busy_mask_ &= static_cast<std::uint8_t>(~bit);
+    }
+  }
+
+  std::unique_ptr<Own> own_;  // null when pool-backed
+  int vcs_;
   bool enforce_parity_;
-  int rr_ = 0;
+  bool* allocated_;
+  bool* excluded_;
+  int* rr_;
+  int allocated_count_ = 0;
+  /// Bit v set when VC v is allocated or excluded — i.e. ineligible
+  /// regardless of parity. allocate() fast-fails when the request mask is
+  /// covered by this, which at saturation is the usual outcome even when
+  /// other classes' VCs sit free (so allocated_count_ alone never fires).
+  std::uint8_t busy_mask_ = 0;
 };
 
 }  // namespace ocn::router

@@ -1,11 +1,22 @@
 // Per-virtual-channel input buffer and routing state (paper Figure 3: each
 // input controller holds an input buffer and input state logic per VC).
+//
+// Since the SoA refactor (ROADMAP item 2) this class is a *view*: the ring
+// storage and every routing-state field live in RouterStatePool's contiguous
+// arrays, and VcBuffer binds references into them at construction. The field
+// syntax (`buf.routed`, `buf.out_port`) and the push/pop API are unchanged,
+// so the reference model, ocn-diff, and the unit tests read the same shape
+// they always have — there is just no second copy of the state to drift.
+// The `VcBuffer(int capacity)` constructor still works standalone (unit
+// tests) by owning a private one-slot backing store.
 #pragma once
 
 #include <cassert>
-#include <deque>
+#include <memory>
+#include <utility>
 
 #include "router/flit.h"
+#include "router/soa.h"
 #include "sim/types.h"
 #include "topo/topology.h"
 
@@ -14,40 +25,103 @@ namespace ocn::router {
 /// One VC's buffer plus the state the input controller keeps for the packet
 /// currently occupying it.
 class VcBuffer {
- public:
-  explicit VcBuffer(int capacity) : capacity_(capacity) {}
+ private:
+  /// Backing store for the standalone constructor. Heap-allocated so the
+  /// default move constructor keeps the reference members valid (they follow
+  /// the unique_ptr to the same heap object).
+  struct Own {
+    explicit Own(int capacity) : slab(new Flit[static_cast<std::size_t>(capacity)]) {}
+    std::unique_ptr<Flit[]> slab;
+    int head = 0;
+    int count = 0;
+    bool routed = false;
+    Cycle routed_at = -1;
+    topo::Port out_port = topo::Port::kTile;
+    VcId out_vc = kInvalidVc;
+    bool dropping = false;
+  };
+  std::unique_ptr<Own> own_;  // null when pool-backed; declared first so the
+                              // references below may bind into it
 
-  bool empty() const { return q_.empty(); }
-  bool full() const { return static_cast<int>(q_.size()) >= capacity_; }
-  int size() const { return static_cast<int>(q_.size()); }
+ public:
+  /// Standalone buffer with private storage (unit tests, ad-hoc use).
+  explicit VcBuffer(int capacity)
+      : own_(std::make_unique<Own>(capacity)),
+        routed(own_->routed),
+        routed_at(own_->routed_at),
+        out_port(own_->out_port),
+        out_vc(own_->out_vc),
+        dropping(own_->dropping),
+        capacity_(capacity),
+        slab_(own_->slab.get()),
+        head_(&own_->head),
+        count_(&own_->count) {}
+
+  /// View over a RouterStatePool slice (the production path).
+  VcBuffer(const VcBufferSlice& s, int capacity)
+      : routed(*s.routed),
+        routed_at(*s.routed_at),
+        out_port(*s.out_port),
+        out_vc(*s.out_vc),
+        dropping(*s.dropping),
+        capacity_(capacity),
+        slab_(s.slab),
+        head_(s.head),
+        count_(s.count) {}
+
+  VcBuffer(VcBuffer&&) = default;
+  VcBuffer(const VcBuffer&) = delete;
+  VcBuffer& operator=(const VcBuffer&) = delete;
+  VcBuffer& operator=(VcBuffer&&) = delete;
+
+  bool empty() const { return *count_ == 0; }
+  bool full() const { return *count_ >= capacity_; }
+  int size() const { return *count_; }
   int capacity() const { return capacity_; }
 
-  void push(Flit f) {
+  void push(Flit&& f) {
     assert(!full() && "credit protocol violated: buffer overflow");
-    q_.push_back(std::move(f));
+    slab_[slot(*count_)] = std::move(f);
+    ++*count_;
   }
 
-  const Flit& front() const { return q_.front(); }
-  Flit& front() { return q_.front(); }
+  /// Copy-push straight from the caller's storage into the ring slab (the
+  /// arrival hot path copies from the channel output in place — one copy
+  /// total instead of a move through a temporary).
+  void push(const Flit& f) {
+    assert(!full() && "credit protocol violated: buffer overflow");
+    slab_[slot(*count_)] = f;
+    ++*count_;
+  }
+
+  const Flit& front() const { return slab_[*head_]; }
+  Flit& front() { return slab_[*head_]; }
+  /// Most recently pushed flit (for post-push fixups on the stored copy).
+  Flit& back() {
+    assert(!empty());
+    return slab_[slot(*count_ - 1)];
+  }
 
   Flit pop() {
-    Flit f = std::move(q_.front());
-    q_.pop_front();
+    assert(!empty());
+    Flit f = std::move(slab_[*head_]);
+    *head_ = (*head_ + 1) % capacity_;
+    --*count_;
     return f;
   }
 
   // --- per-packet routing state -------------------------------------------
   /// True once the head of the resident packet has been route-decoded.
-  bool routed = false;
+  bool& routed;
   /// Cycle the decode happened (non-speculative pipeline gating).
-  Cycle routed_at = -1;
+  Cycle& routed_at;
   /// Output port selected by the route field.
-  topo::Port out_port = topo::Port::kTile;
+  topo::Port& out_port;
   /// Downstream VC granted by the output controller; kInvalidVc until then.
-  VcId out_vc = kInvalidVc;
+  VcId& out_vc;
   /// Set when the packet in this buffer is being dropped (dropping flow
   /// control): remaining flits through the tail are discarded on arrival.
-  bool dropping = false;
+  bool& dropping;
 
   void reset_packet_state() {
     routed = false;
@@ -58,8 +132,12 @@ class VcBuffer {
   }
 
  private:
+  int slot(int offset) const { return (*head_ + offset) % capacity_; }
+
   int capacity_;
-  std::deque<Flit> q_;
+  Flit* slab_;
+  int* head_;
+  int* count_;
 };
 
 }  // namespace ocn::router

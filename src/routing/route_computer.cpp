@@ -111,6 +111,58 @@ std::vector<Port> RouteComputer::port_path(NodeId src, NodeId dst) const {
 
 SourceRoute RouteComputer::compute(NodeId src, NodeId dst) const {
   SourceRoute route;
+  if (src == dst) return route;
+  if (dead_count_ == 0) {
+    // Fault-free fast path: emit the turn codes straight from the two
+    // per-dimension (direction, hops) legs, skipping port_path's vector and
+    // its per-hop neighbor() walks (a virtual call each — this runs per
+    // injected packet). Identical to the slow path below: a row hop changes
+    // only the row ring index (and vice versa), so both legs' endpoints are
+    // known from src alone, and the tie-break already uses only src/dst.
+    const int k = topo_.radix();
+    Port dirs[2] = {Port::kRowPos, Port::kColPos};
+    int hops[2] = {0, 0};
+    for (int dim = 0; dim < 2; ++dim) {
+      const int from = topo_.ring_index(src, dim);
+      const int to = topo_.ring_index(dst, dim);
+      if (from == to) continue;
+      const Port pos = dim == 0 ? Port::kRowPos : Port::kColPos;
+      const Port neg = dim == 0 ? Port::kRowNeg : Port::kColNeg;
+      if (topo_.has_wraparound()) {
+        const int dist_pos = (to - from + k) % k;
+        const int dist_neg = (from - to + k) % k;
+        const bool go_pos = dist_pos != dist_neg ? dist_pos < dist_neg
+                                                 : (std::min(from, to) % 2) == 0;
+        dirs[dim] = go_pos ? pos : neg;
+        hops[dim] = go_pos ? dist_pos : dist_neg;
+      } else {
+        dirs[dim] = to > from ? pos : neg;
+        hops[dim] = to > from ? to - from : from - to;
+      }
+    }
+    const bool row = hops[0] > 0;
+    const bool col = hops[1] > 0;
+    route.push(injection_code(row ? dirs[0] : dirs[1]));
+    if (row) {
+      const auto straight = turn_between(dirs[0], dirs[0]);
+      assert(straight.has_value());
+      for (int i = 1; i < hops[0]; ++i) route.push(static_cast<std::uint8_t>(*straight));
+      if (col) {
+        const auto turn = turn_between(dirs[0], dirs[1]);
+        assert(turn.has_value() && "dimension-order path must be turn-encodable");
+        route.push(static_cast<std::uint8_t>(*turn));
+      }
+    }
+    if (col) {
+      const auto straight = turn_between(dirs[1], dirs[1]);
+      assert(straight.has_value());
+      for (int i = 1; i < hops[1]; ++i) route.push(static_cast<std::uint8_t>(*straight));
+    }
+    const auto extract = turn_between(col ? dirs[1] : dirs[0], Port::kTile);
+    assert(extract.has_value());
+    route.push(static_cast<std::uint8_t>(*extract));
+    return route;
+  }
   const auto path = port_path(src, dst);
   if (path.empty()) return route;
   route.push(injection_code(path.front()));

@@ -12,16 +12,16 @@ void Kernel::remove(Clockable* c) {
     deferred_removals_.push_back(c);
     return;
   }
-  components_.erase(std::remove(components_.begin(), components_.end(), c),
-                    components_.end());
+  components_.erase(
+      std::remove_if(components_.begin(), components_.end(),
+                     [c](const ComponentEntry& e) { return e.component == c; }),
+      components_.end());
 }
 
 int Kernel::step_components() {
   int stepped = 0;
-  for (Clockable* c : components_) {
-    if (c->quiescent()) continue;
-    c->step(now_);
-    ++stepped;
+  for (const ComponentEntry& e : components_) {
+    if (step_component_if_due(e, now_)) ++stepped;
   }
   return stepped;
 }

@@ -13,6 +13,21 @@
 // skips channels with nothing in flight. Components may additionally report
 // themselves `quiescent()`; the kernel then skips their step() entirely,
 // which makes warmup/drain phases and lightly loaded regions cheap.
+//
+// Event-skip hybrid (ROADMAP item 2): polling quiescent() still touches
+// every input channel of every component every cycle. Components registered
+// WITH a wake row (routers — the row lives in the RouterStatePool) skip
+// that poll entirely: a channel delivering a value stamps its receiver's
+// arrival byte during its advance, and the kernel steps the component only
+// when some byte in the row is set or !idle_internal() — arrivals via the
+// bytes, internal work via one contiguous occupancy scan. The bytes also
+// gate the receiver's own per-channel probes: a pipeline phase touches a
+// channel object only when that channel's byte is set, clearing the byte as
+// it consumes (most channels are idle most cycles, so this removes the bulk
+// of the pointer-chasing the step loop used to do). The predicate is
+// provably identical to quiescent() (a byte is set iff its channel's output
+// is engaged), which keeps kernel.component_steps bit-identical to the
+// polled scheme — the e13 baseline value-compares it.
 #pragma once
 
 #include <atomic>
@@ -42,6 +57,12 @@ class Clockable {
   /// skipping is indistinguishable from stepping — including statistics.
   /// The default keeps every component on the clock.
   virtual bool quiescent() const { return false; }
+  /// Event-skip split of quiescent(): internal work only, with arrivals
+  /// covered by the component's wake flag. Consulted only for components
+  /// registered with a wake flag; must satisfy
+  ///   quiescent() == (no engaged inbound channel output) && idle_internal()
+  /// The default keeps the two predicates one and the same.
+  virtual bool idle_internal() const { return quiescent(); }
 };
 
 /// Non-virtual channel base so the kernel can advance heterogeneous channels
@@ -60,15 +81,29 @@ class ChannelBase {
   /// are skipped by Kernel::tick.
   bool active() const { return active_.load(std::memory_order_relaxed); }
 
+  /// Event-skip wiring: stamp `*wake` (relaxed store of 1) whenever an
+  /// advance leaves a value visible at the output — i.e. whenever the
+  /// receiving component has an arrival to consume next cycle. The flag is
+  /// owned by the receiver (RouterStatePool); in the sharded kernel a
+  /// channel is always advanced by the receiver's shard (boundary channels
+  /// are filed under shard_of(dst)), so stamping in phase B and
+  /// reading/clearing in phase A never cross a shard — the phases' barrier
+  /// orders them.
+  void set_wake(std::atomic<std::uint8_t>* wake) { wake_ = wake; }
+
  protected:
   using AdvanceFn = void (*)(ChannelBase*);
   explicit ChannelBase(AdvanceFn fn) : advance_fn_(fn) {}
   ~ChannelBase() = default;  // never deleted through the base
   void set_active(bool a) { active_.store(a, std::memory_order_relaxed); }
+  void notify_wake() {
+    if (wake_ != nullptr) wake_->store(1, std::memory_order_relaxed);
+  }
 
  private:
   AdvanceFn advance_fn_;
   std::atomic<bool> active_{false};
+  std::atomic<std::uint8_t>* wake_ = nullptr;
 };
 
 /// Unidirectional delay line carrying at most one value per cycle.
@@ -96,9 +131,18 @@ class Channel final : public ChannelBase {
   /// not burn an advance on a provably empty channel next tick.
   std::optional<T> take() {
     std::optional<T> v = std::move(out_);
+    consume();
+    return v;
+  }
+
+  /// Clear the arriving value without moving it out. Receivers that process
+  /// the value in place via receive() (the router/NIC hot paths — saves one
+  /// full copy of the payload per arrival) MUST call this afterwards; it is
+  /// what take() does minus the move. A consume() with no value arriving is
+  /// a semantic no-op (the flag recompute matches what advance() computed).
+  void consume() {
     out_.reset();
     set_active(inflight_.load(std::memory_order_relaxed) > 0);
-    return v;
   }
 
   void send(T v) {
@@ -136,6 +180,7 @@ class Channel final : public ChannelBase {
     if (arriving) self->dec_inflight();
     self->set_active(self->inflight_.load(std::memory_order_relaxed) > 0 ||
                      self->out_.has_value());
+    if (self->out_.has_value()) self->notify_wake();
   }
 
   static void advance_pipe(ChannelBase* base) {
@@ -148,6 +193,7 @@ class Channel final : public ChannelBase {
     if (arriving) self->dec_inflight();
     self->set_active(self->inflight_.load(std::memory_order_relaxed) > 0 ||
                      self->out_.has_value());
+    if (self->out_.has_value()) self->notify_wake();
   }
 
   void dec_inflight() {
@@ -163,12 +209,52 @@ class Channel final : public ChannelBase {
   std::int64_t sends_ = 0;
 };
 
+/// A registered component plus its optional wake row. With a null wake the
+/// kernel polls quiescent() as it always has; with a row it uses the
+/// event-skip predicate: `wake_width` contiguous arrival bytes (one per
+/// inbound channel, stamped by the channel's advance) cover arrivals, and
+/// idle_internal() covers occupancy. The kernel never clears the bytes —
+/// each byte is owned by the pipeline phase that consumes its channel, which
+/// clears it as it probes (so an un-probed engaged arrival keeps its byte,
+/// and the component stays due).
+struct ComponentEntry {
+  Clockable* component = nullptr;
+  std::atomic<std::uint8_t>* wake = nullptr;
+  int wake_width = 1;
+};
+
+/// The ONE skip-predicate implementation, shared by Kernel and
+/// ShardedKernel so the two schedulers cannot drift. Returns true when the
+/// component was stepped.
+inline bool step_component_if_due(const ComponentEntry& e, Cycle now) {
+  if (e.wake != nullptr) {
+    bool arrivals = false;
+    for (int i = 0; i < e.wake_width; ++i) {
+      if (e.wake[i].load(std::memory_order_relaxed) != 0) {
+        arrivals = true;
+        break;
+      }
+    }
+    if (!arrivals && e.component->idle_internal()) return false;
+  } else if (e.component->quiescent()) {
+    return false;
+  }
+  e.component->step(now);
+  return true;
+}
+
 /// Owns nothing; sequences registered components and channels. The caller
 /// (typically core::Network) owns the objects and guarantees they outlive
 /// the kernel.
 class Kernel {
  public:
-  void add(Clockable* c) { components_.push_back(c); }
+  void add(Clockable* c) { components_.push_back({c, nullptr, 1}); }
+  /// Register with an event-skip wake row of `width` arrival bytes; every
+  /// channel delivering into `c` must have set_wake() wired to one of them
+  /// (the router controllers wire this themselves in attach()).
+  void add(Clockable* c, std::atomic<std::uint8_t>* wake, int width = 1) {
+    components_.push_back({c, wake, width});
+  }
   void add(ChannelBase* ch) { channels_.push_back(ch); }
 
   /// Unregister a component (used by detachable observers like the protocol
@@ -223,7 +309,7 @@ class Kernel {
   int advance_channels();
   void finish_tick(int stepped, int advanced);
 
-  std::vector<Clockable*> components_;
+  std::vector<ComponentEntry> components_;
   std::vector<ChannelBase*> channels_;
   Cycle now_ = 0;
   int last_tick_stepped_ = 0;

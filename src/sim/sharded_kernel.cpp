@@ -10,7 +10,12 @@ ShardedKernel::ShardedKernel(Kernel& global, int shards)
       shards_(static_cast<std::size_t>(shards < 1 ? 1 : shards)) {}
 
 void ShardedKernel::add(int shard, Clockable* c) {
-  shards_.at(static_cast<std::size_t>(shard)).components.push_back(c);
+  shards_.at(static_cast<std::size_t>(shard)).components.push_back({c, nullptr, 1});
+}
+
+void ShardedKernel::add(int shard, Clockable* c, std::atomic<std::uint8_t>* wake,
+                        int width) {
+  shards_.at(static_cast<std::size_t>(shard)).components.push_back({c, wake, width});
 }
 
 void ShardedKernel::add_interior(int shard, ChannelBase* ch) {
@@ -31,10 +36,8 @@ void ShardedKernel::tick(const std::function<void()>& before_finish) {
   pool_.for_each_index(shards_.size(), [&](std::size_t s) {
     Shard& sh = shards_[s];
     int stepped = 0;
-    for (Clockable* c : sh.components) {
-      if (c->quiescent()) continue;
-      c->step(now);
-      ++stepped;
+    for (const ComponentEntry& e : sh.components) {
+      if (step_component_if_due(e, now)) ++stepped;
     }
     sh.stepped = stepped;
   });

@@ -52,6 +52,14 @@ class ShardedKernel {
   /// Assign a component to a shard. Components left in the global kernel
   /// step serially after the parallel phase.
   void add(int shard, Clockable* c);
+  /// As add(), with an event-skip wake row of `width` arrival bytes (see
+  /// Kernel::add). The bytes must be stamped only by channels this kernel
+  /// advances on shard `shard`'s own worker — i.e. the component must be the
+  /// channels' *receiver* and the channels filed under shard_of(receiver) —
+  /// so a wake byte never crosses a shard (phase-A read/clear and phase-B
+  /// stamp are barrier-ordered).
+  void add(int shard, Clockable* c, std::atomic<std::uint8_t>* wake,
+           int width = 1);
 
   /// A channel whose sender and receiver both live in `shard`.
   void add_interior(int shard, ChannelBase* ch);
@@ -69,7 +77,7 @@ class ShardedKernel {
 
  private:
   struct Shard {
-    std::vector<Clockable*> components;
+    std::vector<ComponentEntry> components;
     std::vector<ChannelBase*> interior;
     std::vector<ChannelBase*> boundary;
     int stepped = 0;

@@ -44,6 +44,29 @@ std::vector<TraceEntry> parse_trace(const std::string& csv) {
   return out;
 }
 
+int trace_header_shards(const std::string& csv) {
+  std::istringstream in(csv);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash == std::string::npos) continue;
+    auto pos = line.find_first_not_of(" \t", hash + 1);
+    if (pos == std::string::npos) continue;
+    constexpr const char kKey[] = "shards:";
+    if (line.compare(pos, sizeof(kKey) - 1, kKey) != 0) continue;
+    int shards = 0;
+    if (std::sscanf(line.c_str() + pos + sizeof(kKey) - 1, "%d", &shards) != 1 ||
+        shards < 1) {
+      throw std::invalid_argument("trace line " + std::to_string(line_no) +
+                                  ": '# shards:' needs a positive integer");
+    }
+    return shards;
+  }
+  return 0;
+}
+
 std::string trace_to_csv(const std::vector<TraceEntry>& entries) {
   std::ostringstream out;
   out << "# cycle,src,dst,payload_bits,service_class\n";

@@ -33,6 +33,14 @@ std::vector<TraceEntry> parse_trace(const std::string& csv);
 /// Render entries back to CSV (round-trips with parse_trace).
 std::string trace_to_csv(const std::vector<TraceEntry>& entries);
 
+/// Shard-count directive from a trace header: the first "# shards: N" comment
+/// line, or 0 when the trace carries none. Shard-campaign divergence reports
+/// record the shard count this way so --replay reruns the trace under the
+/// same kernel partitioning; parse_trace itself ignores the line (it is a
+/// comment). Throws std::invalid_argument on a malformed directive
+/// ("# shards:" with no positive integer).
+int trace_header_shards(const std::string& csv);
+
 class TraceReplay final : public Clockable {
  public:
   /// Entries must be sorted by cycle (parse_trace guarantees it). Times are

@@ -3,7 +3,9 @@
 
 #include "chaos/chaos.h"
 #include "core/network.h"
+#include "core/shard_partition.h"
 #include "core/trace.h"
+#include "ref/diff.h"
 #include "traffic/replay.h"
 
 namespace ocn {
@@ -185,6 +187,61 @@ TEST(GoldenReplay, KillLinkRunReproducesExactly) {
   const GoldenRun second =
       run_recorded(traffic::trace_to_csv(parse_trace(csv)), /*chaos_kill=*/true);
   expect_identical(first, second);
+}
+
+// --- shard-header directive (satellite: refuse over-clamp replays) ----------
+
+TEST(TraceShardHeader, ParsesDirectiveAndIgnoresOtherComments) {
+  EXPECT_EQ(traffic::trace_header_shards("# config: foo\n"
+                                         "# shards: 4\n"
+                                         "1,0,1,64\n"),
+            4);
+  EXPECT_EQ(traffic::trace_header_shards("  #  shards: 2\n1,0,1,64\n"), 2);
+  EXPECT_EQ(traffic::trace_header_shards("# config: foo\n1,0,1,64\n"), 0);
+  EXPECT_EQ(traffic::trace_header_shards(""), 0);
+  // First directive wins.
+  EXPECT_EQ(traffic::trace_header_shards("# shards: 2\n# shards: 4\n"), 2);
+}
+
+TEST(TraceShardHeader, MalformedDirectiveThrows) {
+  EXPECT_THROW(traffic::trace_header_shards("# shards:\n"),
+               std::invalid_argument);
+  EXPECT_THROW(traffic::trace_header_shards("# shards: zero\n"),
+               std::invalid_argument);
+  EXPECT_THROW(traffic::trace_header_shards("# shards: -3\n"),
+               std::invalid_argument);
+}
+
+TEST(TraceShardHeader, OverClampRequestIsRefusedNotClamped) {
+  // resolve_shards clamps to the radix (row strips): a radix-4 fabric honors
+  // at most 4 shards. A trace recorded at 8 shards must be refused.
+  EXPECT_EQ(core::resolve_shards(8, 4), 4);  // the silent clamp being guarded
+  const std::string err = ref::replay_shards_error(8, 4);
+  ASSERT_FALSE(err.empty());
+  EXPECT_NE(err.find("8 shards"), std::string::npos);
+  EXPECT_NE(err.find("radix-4"), std::string::npos);
+  EXPECT_NE(err.find("at most 4"), std::string::npos);
+  // Honorable requests pass.
+  EXPECT_TRUE(ref::replay_shards_error(1, 4).empty());
+  EXPECT_TRUE(ref::replay_shards_error(4, 4).empty());
+  EXPECT_TRUE(ref::replay_shards_error(8, 16).empty());
+}
+
+TEST(TraceShardHeader, DivergenceReportRoundTripsShardCount) {
+  Config config = Config::paper_baseline();
+  ref::Scenario scenario;
+  ref::DiffResult result;
+  const std::vector<TraceEntry> trace{{1, 0, 5, 64, 0}};
+  const std::string report =
+      ref::divergence_report(config, scenario, trace, result, /*shards=*/4);
+  EXPECT_EQ(traffic::trace_header_shards(report), 4);
+  const auto back = parse_trace(report);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].dst, 5);
+  // Reference-model reports (no shard referee) carry no directive.
+  const std::string plain =
+      ref::divergence_report(config, scenario, trace, result);
+  EXPECT_EQ(traffic::trace_header_shards(plain), 0);
 }
 
 }  // namespace
